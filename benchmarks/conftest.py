@@ -1,0 +1,57 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+regenerated rows next to the paper's reference values, and records the
+output under ``benchmarks/results/``.  A single shared
+:class:`ExperimentContext` memoises traces, baseline runs, and trained
+optimizers across benchmarks, so the suite's cost is dominated by unique
+simulation work rather than repetition.
+
+Scale: set ``REPRO_SCALE=small|medium|full`` (default small).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, FigureResult, current_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_RECORDED: list = []
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Echo every regenerated table/figure after the benchmark table, so
+    the tee'd run log carries the paper-vs-measured data itself."""
+    if not _RECORDED:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables/figures")
+    for text in _RECORDED:
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def record():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result: FigureResult, slug: str) -> FigureResult:
+        text = result.to_text() + f"\n(scale: {current_scale()})\n"
+        print("\n" + text)
+        _RECORDED.append(text)
+        (RESULTS_DIR / f"{slug}.txt").write_text(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Characterisation figures: limit study, MPKI, classification."""
+
+from repro.experiments import fig01_limit_study, fig02_mpki, fig03_classification
+
+from conftest import run_once
+
+
+def test_bench_fig01_limit_study(benchmark, ctx, record):
+    result = run_once(benchmark, fig01_limit_study.run, ctx)
+    record(result, "fig01_limit_study")
+    avg = result.rows[-1]
+    assert avg[1] > 0  # ideal prediction speeds things up
+    assert avg[2] > 0 and avg[3] > 0  # both stall components contribute
+
+
+def test_bench_fig02_mpki(benchmark, ctx, record):
+    result = run_once(benchmark, fig02_mpki.run, ctx)
+    record(result, "fig02_mpki")
+    mpkis = [row[1] for row in result.rows[:-1]]
+    assert min(mpkis) > 0.2 and max(mpkis) < 12  # paper band: 0.5-7.2
+
+
+def test_bench_fig03_classification(benchmark, ctx, record):
+    result = run_once(benchmark, fig03_classification.run, ctx)
+    record(result, "fig03_classification")
+    avg = result.rows[-1]
+    # capacity should be the largest class (paper: 76.4%)
+    shares = dict(zip(result.headers[1:], avg[1:]))
+    assert shares["capacity"] == max(shares.values())

@@ -1,0 +1,15 @@
+"""Prior-work reductions and misprediction CDFs."""
+
+from repro.experiments import fig04_prior_work, fig05_cdf
+
+from conftest import run_once
+
+
+def test_bench_fig04_prior_work(benchmark, ctx, record):
+    result = run_once(benchmark, fig04_prior_work.run, ctx)
+    record(result, "fig04_prior_work")
+
+
+def test_bench_fig05_cdf(benchmark, ctx, record):
+    result = run_once(benchmark, fig05_cdf.run, ctx)
+    record(result, "fig05_cdf")

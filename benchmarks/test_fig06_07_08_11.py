@@ -1,0 +1,38 @@
+"""History lengths, op distribution, gate delay, encoding."""
+
+from repro.experiments import (
+    fig06_history_lengths,
+    fig07_op_distribution,
+    fig08_gate_delay,
+    fig11_encoding,
+)
+
+from conftest import run_once
+
+
+def test_bench_fig06_history_lengths(benchmark, ctx, record):
+    result = run_once(benchmark, fig06_history_lengths.run, ctx)
+    record(result, "fig06_history_lengths")
+
+
+def test_bench_fig07_op_distribution(benchmark, ctx, record):
+    result = run_once(benchmark, fig07_op_distribution.run, ctx)
+    record(result, "fig07_op_distribution")
+
+
+def test_bench_fig08_gate_delay(benchmark, ctx, record):
+    result = run_once(benchmark, fig08_gate_delay.run, ctx)
+    record(result, "fig08_gate_delay")
+    assert any(row[2] == 19 for row in result.rows)  # paper's 19 gates
+
+
+def test_bench_fig11_encoding(benchmark, ctx, record):
+    result = run_once(benchmark, fig11_encoding.run, ctx)
+    record(result, "fig11_encoding")
+
+
+def test_bench_fig10_usage_model(benchmark, ctx, record):
+    from repro.experiments import fig10_usage_model
+
+    result = run_once(benchmark, fig10_usage_model.run, ctx)
+    record(result, "fig10_usage_model")

@@ -1,0 +1,24 @@
+"""The headline evaluation: speedup and misprediction reduction."""
+
+from repro.experiments import fig12_speedup, fig13_reduction
+
+from conftest import run_once
+
+
+def test_bench_fig13_reduction(benchmark, ctx, record):
+    result = run_once(benchmark, fig13_reduction.run, ctx)
+    record(result, "fig13_reduction")
+    avg = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    # The paper's ordering: Whisper beats every practical prior scheme.
+    assert avg["Whisper"] > avg["8b-ROMBF"]
+    assert avg["Whisper"] > avg["4b-ROMBF"]
+    assert avg["Whisper"] > avg["8KB-BN"]
+    assert avg["Whisper"] > avg["32KB-BN"]
+
+
+def test_bench_fig12_speedup(benchmark, ctx, record):
+    result = run_once(benchmark, fig12_speedup.run, ctx)
+    record(result, "fig12_speedup")
+    avg = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    assert avg["Whisper"] > 0
+    assert avg["Ideal"] > avg["Whisper"]

@@ -1,0 +1,22 @@
+"""Input sensitivity, profile merging, hint overhead."""
+
+from repro.experiments import fig17_inputs, fig18_merging, fig19_overhead
+
+from conftest import run_once
+
+
+def test_bench_fig17_inputs(benchmark, ctx, record):
+    result = run_once(benchmark, fig17_inputs.run, ctx)
+    record(result, "fig17_inputs")
+    avg = result.rows[-1]
+    assert avg[3] >= avg[2]  # same-input profiles at least as good
+
+
+def test_bench_fig18_merging(benchmark, ctx, record):
+    result = run_once(benchmark, fig18_merging.run, ctx)
+    record(result, "fig18_merging")
+
+
+def test_bench_fig19_overhead(benchmark, ctx, record):
+    result = run_once(benchmark, fig19_overhead.run, ctx)
+    record(result, "fig19_overhead")

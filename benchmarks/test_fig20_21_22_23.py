@@ -1,0 +1,31 @@
+"""Sensitivity studies: 128KB baseline, size sweep, warm-up, length."""
+
+from repro.experiments import (
+    fig20_128kb,
+    fig21_predictor_size,
+    fig22_warmup,
+    fig23_trace_length,
+)
+
+from conftest import run_once
+
+
+def test_bench_fig20_128kb(benchmark, ctx, record):
+    result = run_once(benchmark, fig20_128kb.run, ctx)
+    record(result, "fig20_128kb")
+    assert result.rows[-1][2] > 0  # Whisper still reduces at 128KB
+
+
+def test_bench_fig21_predictor_size(benchmark, ctx, record):
+    result = run_once(benchmark, fig21_predictor_size.run, ctx)
+    record(result, "fig21_predictor_size")
+
+
+def test_bench_fig22_warmup(benchmark, ctx, record):
+    result = run_once(benchmark, fig22_warmup.run, ctx)
+    record(result, "fig22_warmup")
+
+
+def test_bench_fig23_trace_length(benchmark, ctx, record):
+    result = run_once(benchmark, fig23_trace_length.run, ctx)
+    record(result, "fig23_trace_length")

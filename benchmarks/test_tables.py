@@ -1,0 +1,21 @@
+"""Tables I-III."""
+
+from repro.experiments import tables
+
+from conftest import run_once
+
+
+def test_bench_table1_registry(benchmark, ctx, record):
+    result = run_once(benchmark, tables.run_table1, ctx)
+    record(result, "table1")
+    assert len(result.rows) == 12
+
+
+def test_bench_table2_config(benchmark, ctx, record):
+    result = run_once(benchmark, tables.run_table2, ctx)
+    record(result, "table2")
+
+
+def test_bench_table3_params(benchmark, ctx, record):
+    result = run_once(benchmark, tables.run_table3, ctx)
+    record(result, "table3")

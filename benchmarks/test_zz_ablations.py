@@ -1,0 +1,25 @@
+"""Extra ablations of design choices DESIGN.md calls out.
+
+(Named zz_ so they run last, reusing every cached artifact.)
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_bench_ablation_allocation(benchmark, ctx, record):
+    result = run_once(benchmark, ablations.run_allocation, ctx)
+    record(result, "ablation_allocation")
+
+
+def test_bench_ablation_hint_buffer(benchmark, ctx, record):
+    result = run_once(benchmark, ablations.run_hint_buffer, ctx)
+    record(result, "ablation_hint_buffer")
+    values = {str(row[0]): row[1] for row in result.rows}
+    assert abs(values["32"] - values["unlimited"]) < 5.0  # paper: 32 suffices
+
+
+def test_bench_ablation_hash_op(benchmark, ctx, record):
+    result = run_once(benchmark, ablations.run_hash_op, ctx)
+    record(result, "ablation_hash_op")

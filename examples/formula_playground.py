@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Explore the extended-ROMBF formula machinery on its own.
+
+Shows the four single-unit operations (paper Fig 8), the tree evaluator
+and its 19-gate-delay hardware cost (Fig 9), the 15-bit encoding inside
+a brhint (Fig 11), and Algorithm 1 recovering a planted formula from
+noisy samples via randomized formula testing (§III-B).
+
+Run:  python examples/formula_playground.py
+"""
+
+import numpy as np
+
+from repro.core.formulas import (
+    AND,
+    CNIMPL,
+    IMPL,
+    OR,
+    FormulaTree,
+    formula_space_size,
+    random_formula,
+)
+from repro.core.geometric import geometric_lengths
+from repro.core.hashing import fold_history
+from repro.core.hints import BIAS_NONE, BrHint
+from repro.core.search import FormulaSearch
+
+
+def main() -> None:
+    print("single-unit ops on (a, b):")
+    for op, name in [(AND, "and"), (OR, "or"), (IMPL, "impl"), (CNIMPL, "cnimpl")]:
+        tree = FormulaTree(ops=(op,), n_inputs=2)
+        table = "".join(str(tree.evaluate(h)) for h in range(4))
+        print(f"  {name:7s} truth table (b1 b0 = 00,01,10,11): {table}")
+
+    print("\nan 8-input extended ROMBF:")
+    tree = FormulaTree(ops=(OR, AND, IMPL, CNIMPL, AND, OR, IMPL), invert=True)
+    print(f"  expression : {tree.to_expression()}")
+    print(f"  encoding   : {tree.encode():#017b} ({tree.storage_bits()} bits)")
+    print(f"  gate delay : {tree.gate_delay()} (paper: 19)")
+    print(f"  search space: {formula_space_size(8):,} encodings")
+
+    print("\ngeometric candidate history lengths (a=8, N=1024, m=16):")
+    print(f"  {geometric_lengths()}")
+
+    print("\nhashing a 64-bit history into the 8-bit formula input:")
+    history = 0xDEADBEEF_CAFEF00D
+    for length in (8, 29, 64):
+        print(f"  fold(history, {length:3d}) = {fold_history(history, length):#04x}")
+
+    print("\nAlgorithm 1 + randomized testing recovering a planted formula:")
+    rng = np.random.default_rng(42)
+    planted = random_formula(rng)
+    table = planted.truth_table()
+    taken = {h: 20 for h in range(256) if table[h]}
+    nottaken = {h: 20 for h in range(256) if not table[h]}
+    # corrupt a few entries to emulate noise
+    for h in list(taken)[:5]:
+        nottaken[h] = 3
+    for fraction in (0.001, 0.01, 1.0):
+        search = FormulaSearch(fraction=fraction)
+        result = search.find_best_formula(taken, nottaken)
+        print(f"  explored {100 * fraction:6.1f}% of formulas -> "
+              f"{result.mispredictions} profile mispredictions "
+              f"({result.search_seconds * 1000:.1f} ms)")
+
+    print("\npacking the winner into a brhint:")
+    result = FormulaSearch(fraction=0.01).find_best_formula(taken, nottaken)
+    hint = BrHint(
+        history_index=4,  # history length 29
+        formula_bits=result.formula.encode() if result.formula else 0,
+        bias=BIAS_NONE,
+        pc_offset=0x7B,
+    )
+    print(f"  encoded brhint = {hint.encode():#011x} "
+          f"(33 bits: 4 history + 15 formula + 2 bias + 12 pc)")
+    decoded = BrHint.decode(hint.encode())
+    print(f"  decodes to history length {decoded.history_length}, "
+          f"formula {decoded.formula().to_expression()}")
+
+
+if __name__ == "__main__":
+    main()

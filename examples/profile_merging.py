@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Input sensitivity and profile merging (paper Figs 17-18).
+
+Trains Whisper with a profile from one input and tests on others, then
+shows how merging profiles from multiple inputs closes the gap to
+input-specific profiles.
+
+Run:  python examples/profile_merging.py
+"""
+
+from repro import scaled_tage_sc_l, simulate
+from repro.core.whisper import WhisperOptimizer
+from repro.profiling.profile import BranchProfile
+from repro.workloads.generator import generate_trace, get_program
+from repro.workloads.registry import get_spec
+
+APP = "wordpress"
+N_EVENTS = 50_000
+WARMUP = 0.3
+
+
+def whisper_runtime(profile, program):
+    optimizer = WhisperOptimizer()
+    _, _, runtime = optimizer.optimize(profile, program)
+    return runtime
+
+
+def reduction(test_trace, runtime) -> float:
+    base = simulate(test_trace, scaled_tage_sc_l(64)).with_warmup(WARMUP)
+    run = simulate(test_trace, scaled_tage_sc_l(64), runtime=runtime).with_warmup(WARMUP)
+    return run.misprediction_reduction(base)
+
+
+def main() -> None:
+    spec = get_spec(APP)
+    program = get_program(spec)
+    traces = {i: generate_trace(spec, i, N_EVENTS) for i in range(6)}
+    profiles = {
+        i: BranchProfile.collect([traces[i]], lambda: scaled_tage_sc_l(64))
+        for i in range(5)
+    }
+
+    print(f"{APP}: cross-input vs same-input profiles (paper Fig 17)")
+    train0 = whisper_runtime(profiles[0], program)
+    for test_input in (1, 2, 3):
+        cross = reduction(traces[test_input], train0)
+        same = reduction(
+            traces[test_input], whisper_runtime(profiles[test_input], program)
+        )
+        print(f"  test input #{test_input}: training-input profile {cross:5.1f}%  "
+              f"same-input profile {same:5.1f}%")
+
+    print(f"\nmerging profiles from multiple inputs (paper Fig 18), test on input #5:")
+    for level in (1, 2, 3, 4, 5):
+        merged = BranchProfile.merge([profiles[i] for i in range(level)])
+        value = reduction(traces[5], whisper_runtime(merged, program))
+        print(f"  {level} input(s) merged: {value:5.1f}% reduction")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-build-isolation`` falls back to this
+shim via ``--no-use-pep517`` / setuptools' legacy develop path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

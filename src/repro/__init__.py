@@ -1,0 +1,70 @@
+"""Whisper (MICRO 2022) reproduction: profile-guided branch misprediction
+elimination for data center applications.
+
+Quickstart::
+
+    from repro import (
+        BranchProfile, WhisperOptimizer, generate_trace, get_spec,
+        scaled_tage_sc_l, simulate,
+    )
+
+    spec = get_spec("mysql")
+    trace = generate_trace(spec, input_id=0, n_events=100_000)
+    profile = BranchProfile.collect([trace], lambda: scaled_tage_sc_l(64))
+    whisper = WhisperOptimizer()
+    trained, placement, runtime = whisper.optimize(profile, trace.program)
+
+    test = generate_trace(spec, input_id=1, n_events=100_000)
+    baseline = simulate(test, scaled_tage_sc_l(64))
+    optimized = simulate(test, scaled_tage_sc_l(64), runtime=runtime)
+    print(optimized.misprediction_reduction(baseline), "% fewer mispredictions")
+"""
+
+from .bpu import (
+    BimodalPredictor,
+    GSharePredictor,
+    IdealPredictor,
+    MTageScPredictor,
+    PredictionResult,
+    TagePredictor,
+    TageScLPredictor,
+    simulate,
+)
+from .bpu.scaling import CAPACITY_SCALE, scaled_tage_sc_l
+from .core import (
+    BrHint,
+    FormulaSearch,
+    FormulaTree,
+    RombfOptimizer,
+    WhisperConfig,
+    WhisperOptimizer,
+    fold_history,
+    geometric_lengths,
+)
+from .branchnet import BranchNetOptimizer, BranchNetRuntime
+from .profiling import BranchProfile, Trace
+from .sim import SimConfig, SimResult, simulate_timing
+from .workloads import (
+    DATACENTER_APPS,
+    SPEC_APPS,
+    AppSpec,
+    datacenter_specs,
+    generate_trace,
+    get_program,
+    get_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FormulaTree", "FormulaSearch", "BrHint", "fold_history", "geometric_lengths",
+    "WhisperOptimizer", "WhisperConfig", "RombfOptimizer",
+    "BranchNetOptimizer", "BranchNetRuntime",
+    "TageScLPredictor", "TagePredictor", "MTageScPredictor",
+    "BimodalPredictor", "GSharePredictor", "IdealPredictor",
+    "simulate", "PredictionResult", "scaled_tage_sc_l", "CAPACITY_SCALE",
+    "BranchProfile", "Trace",
+    "SimConfig", "SimResult", "simulate_timing",
+    "AppSpec", "get_spec", "get_program", "generate_trace",
+    "datacenter_specs", "DATACENTER_APPS", "SPEC_APPS",
+]

@@ -1,0 +1,33 @@
+"""Analyses behind the paper's characterisation figures."""
+
+from .cdf import branches_to_cover, misprediction_cdf, top_n_share
+from .classification import CLASSES, ClassificationResult, classify_mispredictions
+from .history_corr import BUCKETS, misprediction_length_distribution
+from .metrics import geomean_speedup, mean, misprediction_reduction, speedup_percent, value_range
+from .op_distribution import CATEGORIES, execution_op_distribution
+from .ascii_chart import bar_chart, sparkline
+from .report import build_experiments_md
+from .reuse import FenwickTree, ReuseDistanceTracker
+
+__all__ = [
+    "misprediction_cdf",
+    "top_n_share",
+    "branches_to_cover",
+    "CLASSES",
+    "ClassificationResult",
+    "classify_mispredictions",
+    "BUCKETS",
+    "misprediction_length_distribution",
+    "CATEGORIES",
+    "execution_op_distribution",
+    "FenwickTree",
+    "ReuseDistanceTracker",
+    "bar_chart",
+    "sparkline",
+    "build_experiments_md",
+    "mean",
+    "misprediction_reduction",
+    "speedup_percent",
+    "geomean_speedup",
+    "value_range",
+]

@@ -1,0 +1,62 @@
+"""Terminal bar charts for figure output.
+
+The paper's figures are bar charts; the benchmark suite and CLI print
+their regenerated data as tables, and this module adds a compact
+horizontal-bar rendering so trends (Whisper vs priors, size sweeps) are
+readable at a glance in plain text logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+_FULL = "#"
+_EMPTY = " "
+
+
+def bar_chart(
+    values: Mapping[str, Number],
+    width: int = 40,
+    unit: str = "",
+    baseline: float = 0.0,
+) -> str:
+    """Render labelled horizontal bars.
+
+    Negative values (a technique that *hurts*) render as ``-`` bars so
+    regressions stand out.  ``baseline`` shifts the zero point.
+    """
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    if not values:
+        return "(no data)"
+    labels = list(values.keys())
+    numbers = [float(v) - baseline for v in values.values()]
+    span = max(abs(n) for n in numbers) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+
+    lines = []
+    for label, number in zip(labels, numbers):
+        n_chars = int(round(abs(number) / span * width))
+        bar = (_FULL if number >= 0 else "-") * n_chars
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar.ljust(width)} "
+            f"{number + baseline:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[Number]) -> str:
+    """One-line trend rendering (size sweeps, warm-up curves)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(glyphs) - 1))
+        out.append(glyphs[index])
+    return "".join(out)

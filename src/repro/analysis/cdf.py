@@ -1,0 +1,55 @@
+"""Misprediction CDFs across static branches (paper Fig 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bpu.runner import PredictionResult
+
+#: Branch-count sample points used in the paper's log-2 x-axis.
+DEFAULT_POINTS: Tuple[int, ...] = (1, 4, 16, 50, 64, 256, 1024, 4096, 16384)
+
+
+def misprediction_cdf(
+    result: PredictionResult, points: Sequence[int] = DEFAULT_POINTS
+) -> Dict[int, float]:
+    """Cumulative share (%) of mispredictions held by the top-N branches."""
+    per_pc = result.per_pc_mispredictions()
+    mispredictions = np.array(
+        sorted((m for _, m in per_pc.values()), reverse=True), dtype=np.float64
+    )
+    total = mispredictions.sum()
+    if total == 0:
+        return {n: 100.0 for n in points}
+    cumulative = np.cumsum(mispredictions)
+    out = {}
+    for n in points:
+        idx = min(n, len(cumulative)) - 1
+        out[n] = 100.0 * float(cumulative[idx]) / float(total) if idx >= 0 else 0.0
+    return out
+
+
+def top_n_share(result: PredictionResult, n: int = 50) -> float:
+    """Share (%) of all mispredictions caused by the top-``n`` branches.
+
+    The paper's headline contrast: >60 % for SPEC, far less for data
+    center applications (Fig 5).
+    """
+    return misprediction_cdf(result, points=(n,))[n]
+
+
+def branches_to_cover(result: PredictionResult, share: float = 50.0) -> int:
+    """How many branches it takes to cover ``share`` % of mispredictions."""
+    per_pc = result.per_pc_mispredictions()
+    mispredictions = sorted((m for _, m in per_pc.values()), reverse=True)
+    total = sum(mispredictions)
+    if total == 0:
+        return 0
+    acc = 0.0
+    for i, count in enumerate(mispredictions, start=1):
+        acc += count
+        if 100.0 * acc / total >= share:
+            return i
+    return len(mispredictions)

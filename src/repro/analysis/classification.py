@@ -1,0 +1,133 @@
+"""Misprediction classification (paper §II-C, Fig 3).
+
+The paper classifies each baseline misprediction by "analyzing
+consecutive accesses of a branch substream — the combination of branch
+PC and history of different lengths".  We implement that as a
+three-level substream hierarchy, from coarse to fine:
+
+* level 0 — the PC alone,
+* level 1 — PC + a short history context (folded),
+* level 2 — PC + a longer history context (folded).
+
+A misprediction is then:
+
+* **compulsory** — the PC itself is cold (first dynamic occurrence):
+  no predictor state of any kind could exist;
+* **conditional-on-data** — the short-context substream recurs but its
+  outcomes are inherently unstable: the direction is decided by data,
+  not history, so no history predictor can pin it down;
+* **capacity** — outcomes are stable given context, but the fine
+  substream either has never been formed or its reuse distance exceeds
+  the predictor's entry count: a larger predictor would have retained
+  (or had room to learn) it;
+* **conflict** — the fine substream recurs within capacity with stable
+  outcomes, yet the prediction still missed: associativity/replacement
+  imperfection (or a predictor-internal aliasing artifact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..bpu.runner import PredictionResult
+from ..core.hashing import fold_history
+from ..profiling.trace import Trace
+from .reuse import ReuseDistanceTracker
+
+CLASSES = ("compulsory", "capacity", "conflict", "conditional-on-data")
+
+
+@dataclass
+class ClassificationResult:
+    counts: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def shares(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in CLASSES}
+        return {name: 100.0 * self.counts[name] / total for name in CLASSES}
+
+
+def classify_mispredictions(
+    trace: Trace,
+    result: PredictionResult,
+    predictor_entries: int,
+    short_context_bits: int = 8,
+    long_context_bits: int = 16,
+    fold_bits: int = 12,
+    instability_threshold: float = 0.25,
+    warmup_fraction: float = 0.0,
+) -> ClassificationResult:
+    """Classify every misprediction in ``result`` against ``trace``.
+
+    ``predictor_entries`` is the baseline predictor's total tagged entry
+    count (the capacity threshold for reuse distances).  Substream state
+    is tracked from the start of the trace, but only mispredictions after
+    ``warmup_fraction`` of conditional branches are classified, matching
+    the paper's steady-state measurement.
+    """
+    counts = {name: 0 for name in CLASSES}
+    tracker = ReuseDistanceTracker(trace.n_conditional + 1)
+    seen_pcs: set = set()
+    # Per-short-substream outcome history: key -> [taken, not-taken].
+    outcomes: Dict[int, list] = {}
+    long_seen: set = set()
+
+    correct = result.correct
+    cutoff = int(len(correct) * warmup_fraction)
+    pcs = trace.pcs
+    taken_arr = trace.taken
+    cond = trace.is_conditional
+    history = 0
+    j = 0
+
+    for i in range(trace.n_events):
+        if not cond[i]:
+            continue
+        pc = int(pcs[i])
+        taken = bool(taken_arr[i])
+        short_ctx = fold_history(history, short_context_bits, fold_bits)
+        long_ctx = fold_history(history, long_context_bits, fold_bits)
+        short_key = (pc << fold_bits) | short_ctx
+        long_key = (pc << fold_bits) | long_ctx
+
+        distance = tracker.access(long_key)
+        stats = outcomes.get(short_key)
+        if not correct[j] and j >= cutoff:
+            if pc not in seen_pcs:
+                counts["compulsory"] += 1
+            elif stats is not None and _unstable(stats, instability_threshold):
+                counts["conditional-on-data"] += 1
+            elif (
+                long_key in long_seen
+                and distance is not None
+                and distance <= predictor_entries
+            ):
+                counts["conflict"] += 1
+            else:
+                counts["capacity"] += 1
+
+        seen_pcs.add(pc)
+        long_seen.add(long_key)
+        if stats is None:
+            outcomes[short_key] = [int(taken), int(not taken)]
+        else:
+            stats[0] += int(taken)
+            stats[1] += int(not taken)
+
+        history = ((history << 1) | int(taken)) & ((1 << 64) - 1)
+        j += 1
+
+    return ClassificationResult(counts=counts)
+
+
+def _unstable(stats: list, threshold: float) -> bool:
+    total = stats[0] + stats[1]
+    if total < 2:
+        return False
+    return min(stats) / total >= threshold

@@ -1,0 +1,62 @@
+"""History-length requirements of mispredicted branches (paper Fig 6).
+
+For every branch the baseline mispredicts, the analysis asks Whisper's
+own machinery which candidate history length best predicts it, then
+attributes the branch's baseline mispredictions to that length's bucket.
+Branches no length helps (pure data-dependence) keep the shortest
+bucket, mirroring the paper's presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..bpu.runner import PredictionResult
+from ..core.whisper import WhisperResult
+
+#: Paper bucket labels.
+BUCKETS = (
+    "1-8", "9-16", "17-32", "33-64", "65-128", "129-256",
+    "257-512", "513-1024", "1024+",
+)
+
+
+def bucket_of_length(length: int) -> str:
+    if length <= 8:
+        return "1-8"
+    if length <= 16:
+        return "9-16"
+    if length <= 32:
+        return "17-32"
+    if length <= 64:
+        return "33-64"
+    if length <= 128:
+        return "65-128"
+    if length <= 256:
+        return "129-256"
+    if length <= 512:
+        return "257-512"
+    if length <= 1024:
+        return "513-1024"
+    return "1024+"
+
+
+def misprediction_length_distribution(
+    baseline: PredictionResult, trained: WhisperResult
+) -> Dict[str, float]:
+    """Share (%) of baseline mispredictions per required history length."""
+    counts = {bucket: 0 for bucket in BUCKETS}
+    per_pc = baseline.per_pc_mispredictions()
+    for pc, (_, mispredictions) in per_pc.items():
+        if mispredictions == 0:
+            continue
+        hint = trained.hints.get(pc)
+        if hint is None or hint.result.is_bias:
+            bucket = "1-8"  # no history correlation found
+        else:
+            bucket = bucket_of_length(hint.length)
+        counts[bucket] += mispredictions
+    total = sum(counts.values())
+    if total == 0:
+        return {bucket: 0.0 for bucket in BUCKETS}
+    return {bucket: 100.0 * count / total for bucket, count in counts.items()}

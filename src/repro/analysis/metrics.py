@@ -1,0 +1,41 @@
+"""Shared metric helpers (speedups, reductions, summary statistics)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def misprediction_reduction(baseline_mispredictions: int, mispredictions: int) -> float:
+    """Percent of baseline mispredictions eliminated."""
+    if baseline_mispredictions == 0:
+        return 0.0
+    return 100.0 * (baseline_mispredictions - mispredictions) / baseline_mispredictions
+
+
+def speedup_percent(baseline_ipc: float, ipc: float) -> float:
+    """Percent IPC improvement."""
+    if baseline_ipc == 0:
+        return 0.0
+    return 100.0 * (ipc / baseline_ipc - 1.0)
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return float(np.mean(values)) if values else 0.0
+
+
+def geomean_speedup(percents: Sequence[float]) -> float:
+    """Geometric-mean of (1 + s/100) speedups, reported in percent."""
+    if not percents:
+        return 0.0
+    factors = [1.0 + s / 100.0 for s in percents]
+    return 100.0 * (float(np.prod(factors)) ** (1.0 / len(factors)) - 1.0)
+
+
+def value_range(values: Sequence[float]) -> str:
+    """Render 'avg (min-max)' the way the paper quotes its results."""
+    if not values:
+        return "n/a"
+    return f"{mean(values):.1f} ({min(values):.1f}-{max(values):.1f})"

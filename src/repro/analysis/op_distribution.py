@@ -1,0 +1,57 @@
+"""Distribution of branch executions over formula operations (paper Fig 7).
+
+Each static branch is classified by the prediction structure that best
+represents it: always/never-taken bias, the dominant single-unit op of
+its best-fit Whisper formula, or "others" when nothing fits.  Shares are
+weighted by dynamic executions, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.whisper import WhisperResult
+from ..profiling.profile import BranchProfile
+
+CATEGORIES = (
+    "and", "or", "impl", "cnimpl", "always-taken", "never-taken", "others",
+)
+
+
+def execution_op_distribution(
+    profile: BranchProfile,
+    trained: WhisperResult,
+    bias_threshold: float = 0.995,
+) -> Dict[str, float]:
+    """Share (%) of executions per formula-op category."""
+    counts = {category: 0 for category in CATEGORIES}
+    stats = profile.traces[0].per_branch_stats()
+    for trace in profile.traces[1:]:
+        for pc, (execs, taken) in trace.per_branch_stats().items():
+            prev = stats.get(pc, (0, 0))
+            stats[pc] = (prev[0] + execs, prev[1] + taken)
+
+    for pc, (execs, taken) in stats.items():
+        hint = trained.hints.get(pc)
+        if hint is not None:
+            if hint.result.bias == "taken":
+                category = "always-taken"
+            elif hint.result.bias == "not-taken":
+                category = "never-taken"
+            else:
+                dominant = hint.result.formula.dominant_op()
+                category = dominant if dominant in CATEGORIES else "others"
+        else:
+            rate = taken / execs if execs else 0.0
+            if rate >= bias_threshold:
+                category = "always-taken"
+            elif rate <= 1.0 - bias_threshold:
+                category = "never-taken"
+            else:
+                category = "others"
+        counts[category] += execs
+
+    total = sum(counts.values())
+    if total == 0:
+        return {category: 0.0 for category in CATEGORIES}
+    return {category: 100.0 * c / total for category, c in counts.items()}

@@ -1,0 +1,64 @@
+"""Exact reuse-distance computation (Fenwick-tree algorithm).
+
+Reuse distance of an access = number of *distinct* keys touched since
+the previous access to the same key.  The classic O(log n) algorithm
+keeps a Fenwick tree over access positions with a marker at each key's
+last-access position: the distance is the number of markers after the
+key's previous position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+
+class FenwickTree:
+    """Binary indexed tree over ``n`` positions (1-based internally)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._tree: List[int] = [0] * (n + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.n:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of positions [lo, hi]."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+
+class ReuseDistanceTracker:
+    """Streaming exact reuse distances over an access sequence."""
+
+    def __init__(self, n_accesses: int) -> None:
+        self._tree = FenwickTree(n_accesses)
+        self._last_pos: Dict[Hashable, int] = {}
+        self._time = 0
+
+    def access(self, key: Hashable) -> Optional[int]:
+        """Record an access; returns the reuse distance (None if first)."""
+        t = self._time
+        self._time += 1
+        prev = self._last_pos.get(key)
+        distance: Optional[int] = None
+        if prev is not None:
+            # Distinct keys whose markers sit strictly after prev.
+            distance = self._tree.range_sum(prev + 1, t - 1)
+            self._tree.add(prev, -1)
+        self._tree.add(t, 1)
+        self._last_pos[key] = t
+        return distance

@@ -1,0 +1,26 @@
+"""Branch prediction unit: online predictors and the trace-replay runner."""
+
+from .base import BranchPredictor, FoldedHistory
+from .mtage import MTageScPredictor
+from .perceptron import PerceptronPredictor
+from .runner import HintRuntime, PredictionResult, RunContext, simulate
+from .simple import BimodalPredictor, GSharePredictor, IdealPredictor, StaticTakenPredictor
+from .tage import TagePredictor
+from .tage_sc_l import TageScLPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "FoldedHistory",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "IdealPredictor",
+    "StaticTakenPredictor",
+    "TagePredictor",
+    "TageScLPredictor",
+    "MTageScPredictor",
+    "PerceptronPredictor",
+    "HintRuntime",
+    "PredictionResult",
+    "RunContext",
+    "simulate",
+]

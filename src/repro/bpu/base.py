@@ -1,0 +1,88 @@
+"""Branch predictor interfaces and shared machinery."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BranchPredictor:
+    """Interface every direction predictor implements.
+
+    The contract mirrors hardware: :meth:`predict` is a pure lookup,
+    :meth:`update` trains the predictor with the resolved outcome and
+    advances its internal histories.  ``allocate=False`` models Whisper's
+    allocation suppression for hinted branches (§IV): existing entries
+    still train, but no new storage is allocated for the branch.
+    """
+
+    name = "abstract"
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore power-on state (tests and repeated experiments)."""
+        raise NotImplementedError
+
+    @property
+    def storage_bits(self) -> int:
+        """Modelled hardware budget in bits (0 for idealised predictors)."""
+        return 0
+
+    @property
+    def storage_kb(self) -> float:
+        return self.storage_bits / 8192.0
+
+
+class GlobalHistoryMixin:
+    """A bounded global history of conditional branch outcomes.
+
+    Kept as a Python list ring buffer: folded-history registers consume the
+    evicted bit, and scalar indexing on lists is markedly faster than on
+    NumPy arrays in the per-branch hot loop.
+    """
+
+    def _init_history(self, max_length: int) -> None:
+        self._hist_size = 1 << (max_length - 1).bit_length()
+        self._hist: List[int] = [0] * self._hist_size
+        self._hist_ptr = 0
+
+    def _push_history(self, taken: bool) -> None:
+        self._hist_ptr = (self._hist_ptr + 1) & (self._hist_size - 1)
+        self._hist[self._hist_ptr] = int(taken)
+
+    def _history_bit(self, distance: int) -> int:
+        """Outcome of the branch ``distance`` steps ago (1 = previous)."""
+        return self._hist[(self._hist_ptr - distance + 1) & (self._hist_size - 1)]
+
+
+class FoldedHistory:
+    """Incrementally folded history register (Michaud/Seznec style).
+
+    Maintains the XOR-fold of the most recent ``length`` history bits into
+    ``width`` bits in O(1) per branch, given the incoming bit and the bit
+    falling out of the window.
+    """
+
+    __slots__ = ("length", "width", "comp", "_outpoint", "_mask")
+
+    def __init__(self, length: int, width: int) -> None:
+        if width < 1 or length < 1:
+            raise ValueError("length and width must be positive")
+        self.length = length
+        self.width = width
+        self.comp = 0
+        self._outpoint = length % width
+        self._mask = (1 << width) - 1
+
+    def update(self, new_bit: int, old_bit: int) -> None:
+        comp = (self.comp << 1) | new_bit
+        comp ^= old_bit << self._outpoint
+        comp ^= comp >> self.width
+        self.comp = comp & self._mask
+
+    def reset(self) -> None:
+        self.comp = 0

@@ -1,0 +1,90 @@
+"""Statistical corrector (SC) component of TAGE-SC-L.
+
+A small GEHL-style perceptron that re-weighs the TAGE prediction against
+short-history correlation counters.  TAGE occasionally latches onto
+spurious long-history matches for statistically biased branches; the SC
+learns to overrule it when its own counters disagree strongly.
+
+The sum is centred on "taken": each counter contributes ``2*C + 1`` and
+the TAGE provider's signed confidence joins with a fixed weight.  The
+final prediction is the sign of the sum; counters train toward the
+resolved direction whenever the SC was wrong or the sum was weak.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_CTR_MAX = 31  # 6-bit signed counters
+_CTR_MIN = -32
+
+
+class StatisticalCorrector:
+    """Perceptron-style corrector over short global-history folds."""
+
+    def __init__(
+        self,
+        log_entries: int = 10,
+        history_lengths: tuple = (0, 4, 10, 16),
+        tage_weight: int = 7,
+        threshold: int = 18,
+    ) -> None:
+        self.log_entries = log_entries
+        self.history_lengths = history_lengths
+        self.tage_weight = tage_weight
+        self.threshold = threshold
+        self._mask = (1 << log_entries) - 1
+        self._tables: List[List[int]] = [
+            [0] * (1 << log_entries) for _ in history_lengths
+        ]
+        self._ghr = 0
+        self._last = None
+
+    def reset(self) -> None:
+        for table in self._tables:
+            for i in range(len(table)):
+                table[i] = 0
+        self._ghr = 0
+        self._last = None
+
+    @property
+    def storage_bits(self) -> int:
+        return len(self._tables) * (1 << self.log_entries) * 6
+
+    def _indices(self, pc: int) -> List[int]:
+        pc2 = pc >> 2
+        indices = []
+        for length in self.history_lengths:
+            if length == 0:
+                indices.append(pc2 & self._mask)
+            else:
+                hist = self._ghr & ((1 << length) - 1)
+                folded = hist ^ (hist >> self.log_entries)
+                indices.append((pc2 ^ folded ^ (folded << 3)) & self._mask)
+        return indices
+
+    def predict(self, pc: int, tage_pred: bool, tage_conf: int) -> bool:
+        """Combine TAGE with correlation counters; may invert TAGE."""
+        indices = self._indices(pc)
+        # The TAGE vote joins as signed strength toward "taken".
+        total = self.tage_weight * (abs(tage_conf) if tage_pred else -abs(tage_conf))
+        for table, idx in zip(self._tables, indices):
+            total += 2 * table[idx] + 1
+        pred = total >= 0
+        self._last = (indices, total, pred)
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        if self._last is None:
+            self.predict(pc, True, 1)
+        indices, total, pred = self._last
+        self._last = None
+        if pred != taken or abs(total) <= self.threshold:
+            for table, idx in zip(self._tables, indices):
+                ctr = table[idx]
+                if taken:
+                    if ctr < _CTR_MAX:
+                        table[idx] = ctr + 1
+                elif ctr > _CTR_MIN:
+                    table[idx] = ctr - 1
+        self._ghr = ((self._ghr << 1) | int(taken)) & 0xFFFFFFFF

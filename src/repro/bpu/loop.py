@@ -1,0 +1,71 @@
+"""Loop predictor component of TAGE-SC-L.
+
+Learns branches with constant trip counts (taken ``trip`` times, then
+not-taken once) and overrides TAGE once confident.  Modelled as a small
+fully-associative table with LRU replacement, allocated on TAGE
+mispredictions — the standard arrangement in Seznec's TAGE-SC-L.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+_CONF_MAX = 7
+_CONF_USE = 3
+_TRIP_LIMIT = 4096
+
+
+class _LoopEntry:
+    __slots__ = ("trip", "count", "conf")
+
+    def __init__(self) -> None:
+        self.trip = -1  # learned takens before the exit; -1 = unknown
+        self.count = 0  # takens observed in the current iteration burst
+        self.conf = 0
+
+
+class LoopPredictor:
+    """Constant-trip-count loop detector."""
+
+    def __init__(self, n_entries: int = 64) -> None:
+        self.n_entries = n_entries
+        self._table: "OrderedDict[int, _LoopEntry]" = OrderedDict()
+
+    def reset(self) -> None:
+        self._table.clear()
+
+    @property
+    def storage_bits(self) -> int:
+        # tag(14) + trip(12) + count(12) + conf(3) per entry
+        return self.n_entries * (14 + 12 + 12 + 3)
+
+    def predict(self, pc: int) -> Optional[bool]:
+        """Confident loop prediction, or None to defer to TAGE."""
+        entry = self._table.get(pc)
+        if entry is None or entry.conf < _CONF_USE or entry.trip < 1:
+            return None
+        return entry.count + 1 <= entry.trip
+
+    def update(self, pc: int, taken: bool, tage_mispredicted: bool, allocate: bool = True) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            if tage_mispredicted and allocate:
+                if len(self._table) >= self.n_entries:
+                    self._table.popitem(last=False)
+                self._table[pc] = _LoopEntry()
+            return
+
+        self._table.move_to_end(pc)
+        if taken:
+            entry.count += 1
+            if entry.count > _TRIP_LIMIT:  # not a bounded loop; forget it
+                del self._table[pc]
+        else:
+            if entry.trip == entry.count and entry.trip > 0:
+                if entry.conf < _CONF_MAX:
+                    entry.conf += 1
+            else:
+                entry.trip = entry.count
+                entry.conf = 0
+            entry.count = 0

@@ -1,0 +1,105 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+The paper's related-work section contrasts TAGE with the perceptron
+family (§VI): a single-layer network per branch whose weights encode the
+learned correlation between each global-history bit and the outcome.
+Included here as a reference online predictor — useful for tests (it
+learns linearly-separable history correlations that confound bimodal)
+and for readers exploring the predictor landscape; the paper's baseline
+remains TAGE-SC-L.
+
+Prediction: ``y = w0 + sum_i w_i * h_i`` with ``h_i = +/-1`` for the
+i-th most recent outcome; predict taken iff ``y >= 0``.  Training
+(perceptron rule): on a misprediction or when ``|y| <= theta``, nudge
+every weight toward the resolved outcome.  ``theta = 1.93 * h + 14``
+is the paper-recommended threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import BranchPredictor
+
+_WEIGHT_MAX = 127  # 8-bit signed weights
+_WEIGHT_MIN = -128
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron predictor."""
+
+    name = "perceptron"
+
+    def __init__(self, n_perceptrons: int = 512, history_length: int = 24) -> None:
+        if history_length < 1:
+            raise ValueError("history_length must be positive")
+        if n_perceptrons < 1:
+            raise ValueError("n_perceptrons must be positive")
+        self.n_perceptrons = n_perceptrons
+        self.history_length = history_length
+        self.theta = int(1.93 * history_length + 14)
+        self._weights: List[List[int]] = [
+            [0] * (history_length + 1) for _ in range(n_perceptrons)
+        ]
+        self._history: List[int] = [0] * history_length  # +/-1 encoding
+        self._last = None
+
+    def reset(self) -> None:
+        for weights in self._weights:
+            for i in range(len(weights)):
+                weights[i] = 0
+        self._history = [0] * self.history_length
+        self._last = None
+
+    @property
+    def storage_bits(self) -> int:
+        return self.n_perceptrons * (self.history_length + 1) * 8
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.n_perceptrons
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._index(pc)]
+        total = weights[0]
+        history = self._history
+        for i in range(self.history_length):
+            bit = history[i]
+            if bit > 0:
+                total += weights[i + 1]
+            elif bit < 0:
+                total -= weights[i + 1]
+        return total
+
+    def predict(self, pc: int) -> bool:
+        y = self._output(pc)
+        self._last = (pc, y)
+        return y >= 0
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        if self._last is None or self._last[0] != pc:
+            self.predict(pc)
+        _, y = self._last
+        self._last = None
+
+        target = 1 if taken else -1
+        mispredicted = (y >= 0) != taken
+        if mispredicted or abs(y) <= self.theta:
+            weights = self._weights[self._index(pc)]
+            weights[0] = _clip(weights[0] + target)
+            history = self._history
+            for i in range(self.history_length):
+                bit = history[i]
+                if bit != 0:
+                    correlate = 1 if bit == target else -1
+                    weights[i + 1] = _clip(weights[i + 1] + correlate)
+
+        self._history.insert(0, target)
+        self._history.pop()
+
+
+def _clip(value: int) -> int:
+    if value > _WEIGHT_MAX:
+        return _WEIGHT_MAX
+    if value < _WEIGHT_MIN:
+        return _WEIGHT_MIN
+    return value

@@ -1,0 +1,241 @@
+"""Trace-driven predictor simulation.
+
+:func:`simulate` replays a :class:`~repro.profiling.trace.Trace` through a
+direction predictor, optionally composed with a profile-guided *hint
+runtime* (Whisper's hint buffer, the ROMBF annotator, or BranchNet's CNN
+inference engine).  The runtime is consulted first for every conditional
+branch; when it supplies a prediction, the online predictor is bypassed
+and — following the paper's §IV — is updated with allocation suppressed
+so its capacity is freed for the remaining branches.
+
+The runner owns the 1024-bit global history register that hint formulas
+hash, and (on request) a token history of recent ``(pc, direction)``
+pairs for CNN-style runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..profiling.trace import Trace
+from .base import BranchPredictor
+
+_HISTORY_BITS = 1024
+_HISTORY_MASK = (1 << _HISTORY_BITS) - 1
+
+
+class RunContext:
+    """Mutable per-run state exposed to hint runtimes."""
+
+    __slots__ = ("history", "token_pcs", "token_dirs", "token_pos", "token_size")
+
+    def __init__(self, token_size: int = 0) -> None:
+        self.history = 0  # global conditional history, bit 0 = most recent
+        self.token_size = token_size
+        self.token_pcs = np.zeros(max(1, token_size), dtype=np.int64)
+        self.token_dirs = np.zeros(max(1, token_size), dtype=np.int8)
+        self.token_pos = 0
+
+    def push(self, pc: int, taken: bool) -> None:
+        self.history = ((self.history << 1) | int(taken)) & _HISTORY_MASK
+        if self.token_size:
+            self.token_pos = (self.token_pos + 1) % self.token_size
+            self.token_pcs[self.token_pos] = pc
+            self.token_dirs[self.token_pos] = int(taken)
+
+    def recent_tokens(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Last ``count`` (pc, direction) pairs, most recent last."""
+        if count > self.token_size:
+            raise ValueError("requested more tokens than tracked")
+        idx = (self.token_pos - np.arange(count - 1, -1, -1)) % self.token_size
+        return self.token_pcs[idx], self.token_dirs[idx]
+
+
+class HintRuntime:
+    """Interface for profile-guided overlays; all hooks are optional."""
+
+    #: Ask the runner to maintain the (pc, direction) token ring.
+    wants_tokens = 0  # token ring size; 0 = not needed
+
+    def reset(self) -> None:
+        """Restore start-of-run state."""
+
+    def on_block(self, block_id: int) -> None:
+        """Called for every executed basic block (hint-load modelling)."""
+
+    def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        """Return a hint prediction for ``pc``, or None to defer."""
+        return None
+
+
+@dataclass
+class PredictionResult:
+    """Outcome of replaying one trace through one predictor stack."""
+
+    app: str
+    predictor_name: str
+    correct: np.ndarray  # bool per conditional event, in trace order
+    cond_event_indices: np.ndarray  # event index of each conditional branch
+    hinted: np.ndarray  # bool: prediction came from the hint runtime
+    warmup_fraction: float = 0.0
+    measured_instructions: int = 0
+    _trace: Optional[Trace] = field(default=None, repr=False)
+
+    @property
+    def n_conditional(self) -> int:
+        return int(self._measured_mask().sum())
+
+    def _measured_mask(self) -> np.ndarray:
+        if self.warmup_fraction <= 0.0:
+            return np.ones(len(self.correct), dtype=bool)
+        cutoff = int(len(self.correct) * self.warmup_fraction)
+        mask = np.zeros(len(self.correct), dtype=bool)
+        mask[cutoff:] = True
+        return mask
+
+    @property
+    def mispredictions(self) -> int:
+        mask = self._measured_mask()
+        return int((~self.correct[mask]).sum())
+
+    @property
+    def accuracy(self) -> float:
+        mask = self._measured_mask()
+        total = int(mask.sum())
+        return float(self.correct[mask].sum() / total) if total else 1.0
+
+    @property
+    def mpki(self) -> float:
+        if self.measured_instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.measured_instructions
+
+    def per_pc_mispredictions(self) -> Dict[int, Tuple[int, int]]:
+        """Per-branch ``(executions, mispredictions)`` in the measured region."""
+        if self._trace is None:
+            raise ValueError("result was built without trace linkage")
+        mask = self._measured_mask()
+        pcs = self._trace.pcs[self.cond_event_indices[mask]]
+        wrong = (~self.correct[mask]).astype(np.int64)
+        unique, inverse = np.unique(pcs, return_inverse=True)
+        execs = np.bincount(inverse)
+        errors = np.bincount(inverse, weights=wrong).astype(np.int64)
+        return {
+            int(pc): (int(n), int(e)) for pc, n, e in zip(unique, execs, errors)
+        }
+
+    def with_warmup(self, warmup_fraction: float) -> "PredictionResult":
+        """A view of the same run measured after a warm-up prefix (Fig 22)."""
+        if self._trace is None:
+            raise ValueError("result was built without trace linkage")
+        cutoff = int(len(self.correct) * warmup_fraction)
+        if cutoff > 0:
+            first_event = self.cond_event_indices[cutoff]
+            measured = int(
+                self._trace.program.block_sizes[self._trace.block_ids[first_event:]].sum()
+            )
+        else:
+            measured = self._trace.n_instructions
+        return PredictionResult(
+            app=self.app,
+            predictor_name=self.predictor_name,
+            correct=self.correct,
+            cond_event_indices=self.cond_event_indices,
+            hinted=self.hinted,
+            warmup_fraction=warmup_fraction,
+            measured_instructions=measured,
+            _trace=self._trace,
+        )
+
+    def misprediction_reduction(self, baseline: "PredictionResult") -> float:
+        """Percent of the baseline's mispredictions this run eliminated."""
+        base = baseline.mispredictions
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.mispredictions) / base
+
+
+def simulate(
+    trace: Trace,
+    predictor: BranchPredictor,
+    runtime: Optional[HintRuntime] = None,
+    warmup_fraction: float = 0.0,
+    suppress_hint_allocation: bool = True,
+) -> PredictionResult:
+    """Replay ``trace`` through ``predictor`` (+ optional hint runtime).
+
+    ``suppress_hint_allocation=False`` disables the paper's §IV rule that
+    hinted branches do not allocate predictor entries (ablation study).
+    """
+    predictor.reset()
+    token_size = runtime.wants_tokens if runtime is not None else 0
+    ctx = RunContext(token_size=token_size)
+    if runtime is not None:
+        runtime.reset()
+
+    block_ids = trace.block_ids
+    taken_arr = trace.taken
+    pcs = trace.pcs
+    cond = trace.is_conditional
+    n_events = trace.n_events
+
+    is_ideal = getattr(predictor, "is_ideal", False)
+
+    correct = np.empty(trace.n_conditional, dtype=bool)
+    hinted = np.zeros(trace.n_conditional, dtype=bool)
+    cond_event_indices = np.flatnonzero(cond).astype(np.int64)
+
+    predictor_predict = predictor.predict
+    predictor_update = predictor.update
+    runtime_predict = runtime.predict if runtime is not None else None
+    runtime_on_block = runtime.on_block if runtime is not None else None
+
+    j = 0
+    for i in range(n_events):
+        if runtime_on_block is not None:
+            runtime_on_block(int(block_ids[i]))
+        if not cond[i]:
+            continue
+        pc = int(pcs[i])
+        taken = bool(taken_arr[i])
+
+        hint_pred: Optional[bool] = None
+        if runtime_predict is not None:
+            hint_pred = runtime_predict(pc, ctx)
+
+        if hint_pred is not None:
+            prediction = hint_pred
+            hinted[j] = True
+            if not is_ideal:
+                predictor_predict(pc)  # lookup still happens in hardware
+                predictor_update(pc, taken, allocate=not suppress_hint_allocation)
+        elif is_ideal:
+            prediction = taken
+        else:
+            prediction = predictor_predict(pc)
+            predictor_update(pc, taken)
+
+        correct[j] = prediction == taken
+        ctx.push(pc, taken)
+        j += 1
+
+    cutoff = int(len(correct) * warmup_fraction)
+    if cutoff > 0:
+        first_event = cond_event_indices[cutoff]
+        measured_instr = int(trace.program.block_sizes[block_ids[first_event:]].sum())
+    else:
+        measured_instr = trace.n_instructions
+
+    return PredictionResult(
+        app=trace.app,
+        predictor_name=predictor.name,
+        correct=correct,
+        cond_event_indices=cond_event_indices,
+        hinted=hinted,
+        warmup_fraction=warmup_fraction,
+        measured_instructions=measured_instr,
+        _trace=trace,
+    )

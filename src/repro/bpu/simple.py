@@ -1,0 +1,126 @@
+"""Reference online predictors: bimodal, gshare, ideal, static.
+
+These serve three roles: baselines in tests (TAGE must beat gshare which
+must beat bimodal on correlated streams), building blocks (TAGE's base
+predictor is a bimodal table), and the ideal direction predictor used by
+the paper's limit study (Fig 1).
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, GlobalHistoryMixin
+
+
+class IdealPredictor(BranchPredictor):
+    """Always predicts correctly (the paper's ideal direction predictor).
+
+    Trace-driven simulation knows the resolved outcome ahead of time, so
+    the ideal predictor simply echoes it: :meth:`update` records the next
+    outcome before :meth:`predict` is consulted by the runner (the runner
+    calls predict first, so the ideal predictor is special-cased there via
+    ``is_ideal``).
+    """
+
+    name = "ideal"
+    is_ideal = True
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - runner shortcut
+        return True
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class StaticTakenPredictor(BranchPredictor):
+    """Predicts a constant direction; the weakest sane baseline."""
+
+    name = "static-taken"
+
+    def __init__(self, direction: bool = True) -> None:
+        self.direction = direction
+
+    def predict(self, pc: int) -> bool:
+        return self.direction
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed table of 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, log_entries: int = 14) -> None:
+        self.log_entries = log_entries
+        self._mask = (1 << log_entries) - 1
+        self._table = [0] * (1 << log_entries)  # counters in [-2, 1]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 0
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 1:
+                self._table[idx] = ctr + 1
+        else:
+            if ctr > -2:
+                self._table[idx] = ctr - 1
+
+    def reset(self) -> None:
+        self._table = [0] * (1 << self.log_entries)
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * (1 << self.log_entries)
+
+
+class GSharePredictor(BranchPredictor, GlobalHistoryMixin):
+    """Global-history XOR-indexed 2-bit counter table."""
+
+    name = "gshare"
+
+    def __init__(self, log_entries: int = 14, history_length: int = 12) -> None:
+        if history_length > log_entries:
+            raise ValueError("history_length must not exceed log_entries")
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self._mask = (1 << log_entries) - 1
+        self._table = [0] * (1 << log_entries)
+        self._ghr = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._ghr) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 0
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 1:
+                self._table[idx] = ctr + 1
+        else:
+            if ctr > -2:
+                self._table[idx] = ctr - 1
+        self._ghr = ((self._ghr << 1) | int(taken)) & ((1 << self.history_length) - 1)
+
+    def reset(self) -> None:
+        self._table = [0] * (1 << self.log_entries)
+        self._ghr = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * (1 << self.log_entries)

@@ -1,0 +1,275 @@
+"""TAGE: tagged geometric-history-length branch predictor (Seznec).
+
+A faithful, storage-parameterised TAGE core: a bimodal base table plus
+``n_tables`` partially-tagged tables indexed by XOR-folds of geometrically
+increasing global-history lengths.  Prediction comes from the matching
+table with the longest history (the *provider*); allocation on a
+misprediction steals a not-useful entry in a longer-history table.
+
+The implementation favours the per-branch hot path: tables are flat
+Python lists (scalar indexing beats NumPy here), folded histories update
+in O(1), and the index/tag computation for a PC is cached between the
+``predict`` and ``update`` halves of one branch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.geometric import geometric_lengths
+from .base import BranchPredictor, FoldedHistory, GlobalHistoryMixin
+
+_CTR_MAX = 3  # 3-bit signed counter in [-4, 3]
+_CTR_MIN = -4
+_U_MAX = 3  # 2-bit useful counter
+
+
+class TagePredictor(BranchPredictor, GlobalHistoryMixin):
+    """Storage-parameterised TAGE core.
+
+    Parameters
+    ----------
+    storage_kb:
+        Hardware budget.  One eighth goes to the bimodal base; the rest is
+        split evenly across the tagged tables (entry = 3-bit counter +
+        2-bit useful + tag).
+    n_tables:
+        Number of tagged components.
+    min_history / max_history:
+        Geometric history-length schedule endpoints.
+    tag_bits:
+        Tag width of every tagged table.
+    """
+
+    name = "tage"
+
+    def __init__(
+        self,
+        storage_kb: float = 64,
+        n_tables: int = 12,
+        min_history: int = 6,
+        max_history: int = 1024,
+        tag_bits: int = 10,
+        log_bimodal: int | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.storage_kb_budget = storage_kb
+        self.n_tables = n_tables
+        self.tag_bits = tag_bits
+        self.histories = geometric_lengths(min_history, max_history, n_tables)
+
+        budget_bits = int(storage_kb * 1024 * 8)
+        if log_bimodal is None:
+            bimodal_bits = budget_bits // 8
+            # Caps keep idealised huge budgets (MTAGE-SC) tractable in
+            # memory while staying beyond any simulated working set.
+            log_bimodal = min(17, max(8, (bimodal_bits // 2).bit_length() - 1))
+        self.log_bimodal = log_bimodal
+        remaining = max(budget_bits // 2, budget_bits - 2 * (1 << self.log_bimodal))
+        per_entry = 3 + 2 + tag_bits
+        per_table = max(16, remaining // (n_tables * per_entry))
+        self.log_entries = min(15, max(4, per_table.bit_length() - 1))
+
+        self._seed = seed
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        n_entries = 1 << self.log_entries
+        self._entry_mask = n_entries - 1
+        self._tag_mask = (1 << self.tag_bits) - 1
+        self._bimodal = [0] * (1 << self.log_bimodal)
+        self._bimodal_mask = (1 << self.log_bimodal) - 1
+        self._ctrs: List[List[int]] = [[0] * n_entries for _ in range(self.n_tables)]
+        self._tags: List[List[int]] = [[-1] * n_entries for _ in range(self.n_tables)]
+        self._us: List[List[int]] = [[0] * n_entries for _ in range(self.n_tables)]
+        self._fold_idx = [FoldedHistory(h, self.log_entries) for h in self.histories]
+        self._fold_tag0 = [FoldedHistory(h, self.tag_bits) for h in self.histories]
+        self._fold_tag1 = [FoldedHistory(h, max(1, self.tag_bits - 1)) for h in self.histories]
+        self._init_history(self.histories[-1] + 1)
+        self._use_alt_on_na = 8  # 4-bit counter in [0, 15]
+        self._tick = 0
+        self._rand = self._seed | 1
+        self._last_pc: Optional[int] = None
+        self._last_state: Optional[tuple] = None
+
+    def reset(self) -> None:
+        self._build_tables()
+
+    @property
+    def storage_bits(self) -> int:
+        tagged = self.n_tables * (1 << self.log_entries) * (3 + 2 + self.tag_bits)
+        return tagged + 2 * (1 << self.log_bimodal)
+
+    # ------------------------------------------------------------------
+    def _lcg(self) -> int:
+        self._rand = (self._rand * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._rand >> 16
+
+    def _compute(self, pc: int) -> tuple:
+        """Indices/tags for every table plus provider/alternate picks."""
+        pc2 = pc >> 2
+        indices = []
+        tags = []
+        for i in range(self.n_tables):
+            idx = (pc2 ^ (pc2 >> (self.log_entries - i % 4)) ^ self._fold_idx[i].comp) & self._entry_mask
+            tag = (pc2 ^ self._fold_tag0[i].comp ^ (self._fold_tag1[i].comp << 1)) & self._tag_mask
+            indices.append(idx)
+            tags.append(tag)
+
+        provider = -1
+        alt = -1
+        for i in range(self.n_tables - 1, -1, -1):
+            if self._tags[i][indices[i]] == tags[i]:
+                if provider < 0:
+                    provider = i
+                else:
+                    alt = i
+                    break
+        return indices, tags, provider, alt
+
+    def _base_pred(self, pc: int) -> bool:
+        return self._bimodal[(pc >> 2) & self._bimodal_mask] >= 0
+
+    def predict_full(self, pc: int) -> tuple:
+        """Return (prediction, provider_table, provider_ctr, confidence).
+
+        ``confidence`` is the signed strength of whichever component
+        supplied the prediction; the statistical corrector consumes it.
+        """
+        indices, tags, provider, alt = self._compute(pc)
+
+        bim = self._base_pred(pc)
+        if provider < 0:
+            pred = bim
+            ctr = self._bimodal[(pc >> 2) & self._bimodal_mask]
+            state = (indices, tags, provider, alt, pred, bim, pred, False)
+            self._last_pc, self._last_state = pc, state
+            return pred, -1, ctr, 2 * ctr + 1
+
+        p_ctr = self._ctrs[provider][indices[provider]]
+        provider_pred = p_ctr >= 0
+        if alt >= 0:
+            a_ctr = self._ctrs[alt][indices[alt]]
+            alt_pred = a_ctr >= 0
+        else:
+            alt_pred = bim
+
+        # Newly-allocated, weak providers may defer to the alternate
+        # prediction, steered by a global USE_ALT_ON_NA counter.
+        weak = p_ctr in (-1, 0)
+        newly = self._us[provider][indices[provider]] == 0
+        use_alt = weak and newly and self._use_alt_on_na >= 8
+        pred = alt_pred if use_alt else provider_pred
+
+        state = (indices, tags, provider, alt, provider_pred, alt_pred, pred, use_alt)
+        self._last_pc, self._last_state = pc, state
+        return pred, provider, p_ctr, 2 * p_ctr + 1
+
+    def predict(self, pc: int) -> bool:
+        return self.predict_full(pc)[0]
+
+    # ------------------------------------------------------------------
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        if self._last_pc == pc and self._last_state is not None:
+            state = self._last_state
+        else:  # cold update path (e.g. tests calling update directly)
+            indices, tags, provider, alt = self._compute(pc)
+            bim = self._base_pred(pc)
+            if provider >= 0:
+                provider_pred = self._ctrs[provider][indices[provider]] >= 0
+                alt_pred = self._ctrs[alt][indices[alt]] >= 0 if alt >= 0 else bim
+            else:
+                provider_pred = alt_pred = bim
+            state = (indices, tags, provider, alt, provider_pred, alt_pred, provider_pred, False)
+        indices, tags, provider, alt, provider_pred, alt_pred, pred, used_alt = state
+        self._last_pc = None
+        self._last_state = None
+
+        taken_i = int(taken)
+        mispredicted = pred != taken
+
+        if provider >= 0:
+            idx = indices[provider]
+            table = self._ctrs[provider]
+            ctr = table[idx]
+            if taken:
+                if ctr < _CTR_MAX:
+                    table[idx] = ctr + 1
+            elif ctr > _CTR_MIN:
+                table[idx] = ctr - 1
+
+            # Useful bit: provider proved its worth against the alternate.
+            if provider_pred != alt_pred:
+                us = self._us[provider]
+                if provider_pred == taken:
+                    if us[idx] < _U_MAX:
+                        us[idx] += 1
+                elif us[idx] > 0:
+                    us[idx] -= 1
+
+            # USE_ALT_ON_NA bookkeeping for weak, newly allocated entries.
+            ctr_before = ctr
+            if ctr_before in (-1, 0) and self._us[provider][idx] == 0 and provider_pred != alt_pred:
+                if provider_pred == taken:
+                    if self._use_alt_on_na > 0:
+                        self._use_alt_on_na -= 1
+                elif self._use_alt_on_na < 15:
+                    self._use_alt_on_na += 1
+
+            # The bimodal base trains when it backed the alternate path.
+            if alt < 0 and (used_alt or provider < 0):
+                self._update_bimodal(pc, taken)
+        else:
+            self._update_bimodal(pc, taken)
+
+        # Allocation in a longer-history table on a misprediction.
+        if mispredicted and allocate and provider < self.n_tables - 1:
+            self._allocate(indices, tags, provider, taken_i)
+
+        # Graceful aging of useful counters.
+        self._tick += 1
+        if self._tick >= (1 << 18):
+            self._tick = 0
+            for us in self._us:
+                for j, u in enumerate(us):
+                    if u:
+                        us[j] = u >> 1
+
+        # Advance global + folded histories.
+        old_bits = [self._history_bit(h) for h in self.histories]
+        self._push_history(taken)
+        for i in range(self.n_tables):
+            old = old_bits[i]
+            self._fold_idx[i].update(taken_i, old)
+            self._fold_tag0[i].update(taken_i, old)
+            self._fold_tag1[i].update(taken_i, old)
+
+    def _update_bimodal(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._bimodal_mask
+        ctr = self._bimodal[idx]
+        if taken:
+            if ctr < 1:
+                self._bimodal[idx] = ctr + 1
+        elif ctr > -2:
+            self._bimodal[idx] = ctr - 1
+
+    def _allocate(self, indices: list, tags: list, provider: int, taken_i: int) -> None:
+        start = provider + 1
+        free = [i for i in range(start, self.n_tables) if self._us[i][indices[i]] == 0]
+        if not free:
+            # Nothing stealable: age the contenders so a later attempt wins.
+            for i in range(start, self.n_tables):
+                idx = indices[i]
+                if self._us[i][idx] > 0:
+                    self._us[i][idx] -= 1
+            return
+        # Prefer the shortest free table but occasionally skip one slot to
+        # spread allocations (Seznec's randomised allocation).
+        choice = free[0]
+        if len(free) > 1 and (self._lcg() & 3) == 0:
+            choice = free[1]
+        idx = indices[choice]
+        self._tags[choice][idx] = tags[choice]
+        self._ctrs[choice][idx] = 0 if taken_i else -1
+        self._us[choice][idx] = 0

@@ -1,0 +1,85 @@
+"""TAGE-SC-L: TAGE + Statistical Corrector + Loop predictor (paper §II).
+
+The paper's baseline predictor, parameterised by storage budget (Figs 2,
+20, 21 use 8 KB through 1 MB).  Composition follows Seznec's CBP-5
+design: a confident loop prediction bypasses everything; otherwise the
+statistical corrector may overrule TAGE.
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .corrector import StatisticalCorrector
+from .loop import LoopPredictor
+from .tage import TagePredictor
+
+
+class TageScLPredictor(BranchPredictor):
+    """The paper's baseline online predictor."""
+
+    name = "tage-sc-l"
+
+    def __init__(
+        self,
+        storage_kb: float = 64,
+        n_tables: int = 12,
+        min_history: int = 6,
+        max_history: int = 1024,
+        log_bimodal: int | None = None,
+        sc_log: int | None = None,
+        seed: int = 1,
+    ) -> None:
+        # Budget split: ~90% TAGE, the rest SC + loop (matches the flavour
+        # of the CBP-5 64KB configuration).
+        self.storage_kb_budget = storage_kb
+        if sc_log is None:
+            sc_log = max(6, min(11, int(storage_kb).bit_length() + 3))
+        self.tage = TagePredictor(
+            storage_kb=storage_kb * 0.88,
+            n_tables=n_tables,
+            min_history=min_history,
+            max_history=max_history,
+            log_bimodal=log_bimodal,
+            seed=seed,
+        )
+        self.sc = StatisticalCorrector(log_entries=sc_log)
+        self.loop = LoopPredictor(n_entries=256)
+        self._last = None
+
+    def reset(self) -> None:
+        self.tage.reset()
+        self.sc.reset()
+        self.loop.reset()
+        self._last = None
+
+    @property
+    def storage_bits(self) -> int:
+        return self.tage.storage_bits + self.sc.storage_bits + self.loop.storage_bits
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        tage_pred, provider, p_ctr, conf = self.tage.predict_full(pc)
+        loop_pred = self.loop.predict(pc)
+        # SC state advances on every branch, but its verdict only matters
+        # when TAGE is not confident: a saturated provider is nearly always
+        # right, and letting aliased SC counters overrule it costs accuracy
+        # on large branch working sets.
+        sc_pred = self.sc.predict(pc, tage_pred, conf)
+        if loop_pred is not None:
+            final = loop_pred
+        elif abs(conf) >= 5:
+            final = tage_pred
+        else:
+            final = sc_pred
+        self._last = (pc, tage_pred, final, loop_pred is not None)
+        return final
+
+    def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        if self._last is None or self._last[0] != pc:
+            self.predict(pc)
+        _, tage_pred, final, _ = self._last
+        self._last = None
+        tage_mispredicted = tage_pred != taken
+        self.loop.update(pc, taken, tage_mispredicted, allocate)
+        self.sc.update(pc, taken)
+        self.tage.update(pc, taken, allocate)

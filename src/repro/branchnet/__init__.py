@@ -1,0 +1,16 @@
+"""BranchNet baseline: per-branch CNNs with storage-budgeted deployment."""
+
+from .cnn import BranchNetModel, CnnConfig, tokenize
+from .runtime import BranchNetRuntime
+from .trainer import BUDGET_8KB, BUDGET_32KB, BranchNetOptimizer, BranchNetResult
+
+__all__ = [
+    "BranchNetModel",
+    "CnnConfig",
+    "tokenize",
+    "BranchNetRuntime",
+    "BranchNetOptimizer",
+    "BranchNetResult",
+    "BUDGET_8KB",
+    "BUDGET_32KB",
+]

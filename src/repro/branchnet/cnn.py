@@ -1,0 +1,187 @@
+"""A compact NumPy reimplementation of the BranchNet CNN (MICRO 2020).
+
+BranchNet predicts one hard-to-predict branch with a small convolutional
+network over the recent global history of (branch PC, direction) tokens:
+embedding -> 1-D convolution -> ReLU -> sum pooling -> two-layer MLP ->
+sigmoid.  Sum pooling gives the position-invariance the original paper
+identifies as key: the correlated branch may appear at varying history
+depths.
+
+This implementation trains with plain SGD + momentum on binary
+cross-entropy, entirely in NumPy.  Deployment storage is modelled as one
+byte per parameter (the original quantises to few-bit weights; one byte
+is a conservative stand-in that preserves the "hundreds of bytes to a
+few KB per branch" scale the paper's storage budgets are built on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Default token-history window length.
+DEFAULT_HISTORY = 48
+#: Token vocabulary (hashed PC x direction).
+DEFAULT_VOCAB = 256
+
+
+def tokenize(pcs: np.ndarray, directions: np.ndarray, vocab: int = DEFAULT_VOCAB) -> np.ndarray:
+    """Map (pc, direction) pairs to token ids in ``[0, vocab)``.
+
+    Knuth multiplicative hashing: the *high* bits of the product are the
+    well-mixed ones, so the slot comes from a right shift, not a modulus.
+    """
+    h = (pcs >> 2).astype(np.int64)
+    h = h ^ (h >> np.int64(16))
+    h = (h * np.int64(2654435761)) & np.int64(0xFFFFFFFF)
+    h = h ^ (h >> np.int64(13))
+    h = (h * np.int64(0x5BD1E995)) & np.int64(0xFFFFFFFF)
+    slots = (h >> np.int64(15)) % (vocab // 2)
+    return (slots * 2 + directions.astype(np.int64)).astype(np.int64)
+
+
+@dataclass
+class CnnConfig:
+    history: int = DEFAULT_HISTORY
+    vocab: int = DEFAULT_VOCAB
+    embed_dim: int = 8
+    channels: int = 12
+    kernel: int = 3
+    hidden: int = 16
+    lr: float = 0.01
+    epochs: int = 30
+    batch_size: int = 64
+    seed: int = 7
+
+
+class BranchNetModel:
+    """One per-branch CNN: trains offline, predicts at run time."""
+
+    def __init__(self, config: CnnConfig = CnnConfig()) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        c = config
+        scale = 0.15
+        self.E = rng.normal(0.0, scale, (c.vocab, c.embed_dim))
+        self.Wc = rng.normal(0.0, scale, (c.kernel * c.embed_dim, c.channels))
+        self.bc = np.zeros(c.channels)
+        self.W1 = rng.normal(0.0, scale, (c.channels, c.hidden))
+        self.b1 = np.zeros(c.hidden)
+        self.W2 = rng.normal(0.0, scale, (c.hidden, 1))
+        self.b2 = np.zeros(1)
+        # Adam state.
+        self._m = {name: np.zeros_like(param) for name, param in self._params()}
+        self._v = {name: np.zeros_like(param) for name, param in self._params()}
+        self._t = 0
+
+    def _params(self):
+        return [
+            ("E", self.E), ("Wc", self.Wc), ("bc", self.bc),
+            ("W1", self.W1), ("b1", self.b1), ("W2", self.W2), ("b2", self.b2),
+        ]
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(param.size for _, param in self._params())
+
+    @property
+    def storage_bytes(self) -> int:
+        """Deployment footprint: one byte per (quantised) parameter."""
+        return self.n_parameters
+
+    # ------------------------------------------------------------------
+    def _forward(self, tokens: np.ndarray) -> Tuple[np.ndarray, tuple]:
+        c = self.config
+        X = self.E[tokens]  # (B, H, D)
+        T = c.history - c.kernel + 1
+        windows = np.concatenate(
+            [X[:, j : j + T, :] for j in range(c.kernel)], axis=2
+        )  # (B, T, k*D)
+        Z1 = windows @ self.Wc + self.bc  # (B, T, C)
+        A1 = np.maximum(Z1, 0.0)
+        pooled = A1.mean(axis=1)  # (B, C); mean keeps activations O(1)
+        Z2 = pooled @ self.W1 + self.b1
+        A2 = np.maximum(Z2, 0.0)
+        Z3 = A2 @ self.W2 + self.b2  # (B, 1)
+        prob = 1.0 / (1.0 + np.exp(-np.clip(Z3[:, 0], -30, 30)))
+        return prob, (tokens, X, windows, Z1, A1, pooled, Z2, A2)
+
+    def predict_batch(self, tokens: np.ndarray) -> np.ndarray:
+        """Taken-probability for a batch of (B, H) token windows."""
+        prob, _ = self._forward(np.asarray(tokens))
+        return prob
+
+    def predict(self, tokens: np.ndarray) -> bool:
+        return bool(self.predict_batch(tokens[np.newaxis, :])[0] >= 0.5)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        tokens: np.ndarray,
+        labels: np.ndarray,
+        epochs: Optional[int] = None,
+    ) -> float:
+        """SGD training; returns the final training accuracy."""
+        c = self.config
+        tokens = np.asarray(tokens)
+        labels = np.asarray(labels, dtype=np.float64)
+        n = len(labels)
+        if n == 0:
+            return 0.0
+        rng = np.random.default_rng(c.seed + 1)
+        epochs = c.epochs if epochs is None else epochs
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, c.batch_size):
+                batch = order[start : start + c.batch_size]
+                self._step(tokens[batch], labels[batch])
+        prob = self.predict_batch(tokens)
+        return float(((prob >= 0.5) == (labels >= 0.5)).mean())
+
+    def _step(self, tokens: np.ndarray, labels: np.ndarray) -> None:
+        c = self.config
+        B = len(labels)
+        prob, cache = self._forward(tokens)
+        toks, X, windows, Z1, A1, pooled, Z2, A2 = cache
+
+        dZ3 = ((prob - labels) / B)[:, np.newaxis]  # (B, 1)
+        grads = {}
+        grads["W2"] = A2.T @ dZ3
+        grads["b2"] = dZ3.sum(axis=0)
+        dA2 = dZ3 @ self.W2.T
+        dZ2 = dA2 * (Z2 > 0)
+        grads["W1"] = pooled.T @ dZ2
+        grads["b1"] = dZ2.sum(axis=0)
+        dPooled = dZ2 @ self.W1.T  # (B, C)
+        T = A1.shape[1]
+        dA1 = np.broadcast_to(dPooled[:, np.newaxis, :] / T, A1.shape)
+        dZ1 = dA1 * (Z1 > 0)  # (B, T, C)
+        flatW = windows.reshape(B * T, -1)
+        flatZ = dZ1.reshape(B * T, -1)
+        grads["Wc"] = flatW.T @ flatZ
+        grads["bc"] = flatZ.sum(axis=0)
+        dWindows = (flatZ @ self.Wc.T).reshape(B, T, -1)
+        dX = np.zeros_like(X)
+        D = c.embed_dim
+        for j in range(c.kernel):
+            dX[:, j : j + T, :] += dWindows[:, :, j * D : (j + 1) * D]
+        dE = np.zeros_like(self.E)
+        np.add.at(dE, toks, dX)
+        grads["E"] = dE
+
+        # Adam update.
+        self._t += 1
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for name, param in self._params():
+            grad = grads[name]
+            m = self._m[name]
+            v = self._v[name]
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad * grad
+            param -= c.lr * (m / bias1) / (np.sqrt(v / bias2) + eps)

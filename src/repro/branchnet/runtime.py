@@ -1,0 +1,37 @@
+"""BranchNet inference runtime: plugs trained CNNs into the replay runner."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..bpu.runner import HintRuntime, RunContext
+from .cnn import BranchNetModel, tokenize
+
+
+class BranchNetRuntime(HintRuntime):
+    """Hybrid overlay: CNN inference for covered branches, TAGE otherwise.
+
+    Asks the runner to maintain the (pc, direction) token ring the CNNs
+    consume.  Following the paper's deployment, covered branches also
+    suppress allocation in the online predictor (handled by the runner).
+    """
+
+    def __init__(self, models: Dict[int, BranchNetModel]) -> None:
+        self.models = models
+        if models:
+            any_model = next(iter(models.values()))
+            self.wants_tokens = any_model.config.history
+            self._vocab = any_model.config.vocab
+        else:
+            self.wants_tokens = 0
+            self._vocab = 0
+
+    def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        model = self.models.get(pc)
+        if model is None:
+            return None
+        pcs, dirs = ctx.recent_tokens(model.config.history)
+        tokens = tokenize(pcs, np.asarray(dirs), self._vocab)
+        return model.predict(tokens)

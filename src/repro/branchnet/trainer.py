@@ -1,0 +1,160 @@
+"""BranchNet training and storage-budgeted deployment (paper §II-D).
+
+BranchNet's deployment model allocates one CNN per hard-to-predict
+branch, under a total metadata budget: the paper studies 8 KB and 32 KB
+variants plus an impractical unlimited variant.  Candidates are ranked
+by baseline misprediction count — BranchNet's core assumption is that a
+top-few branches dominate — and models are trained most-damaging-first
+until the budget runs out.
+
+A trained model is only deployed if its held-out validation accuracy
+beats the profiled predictor on that branch; CNNs that fail to learn a
+branch (common for hashed long-history correlations) are discarded,
+which is the mechanism behind BranchNet's weak data-center coverage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..profiling.profile import BranchProfile
+from ..core.training import select_candidates
+from .cnn import BranchNetModel, CnnConfig, tokenize
+
+#: Paper storage variants (bytes); None = unlimited.
+BUDGET_8KB = 8 * 1024
+BUDGET_32KB = 32 * 1024
+
+
+@dataclass
+class BranchNetResult:
+    """Deployed per-branch CNNs."""
+
+    models: Dict[int, BranchNetModel] = field(default_factory=dict)
+    candidates_considered: int = 0
+    trained: int = 0
+    rejected: int = 0
+    training_seconds: float = 0.0
+    #: Modelled training cost: SGD multiply-accumulates (very roughly),
+    #: comparable with the other optimizers' work counters in Fig 16.
+    work_units: int = 0
+
+    @property
+    def storage_bytes(self) -> int:
+        return sum(model.storage_bytes for model in self.models.values())
+
+
+def collect_token_samples(
+    profile: BranchProfile,
+    candidates: List[int],
+    history: int,
+    vocab: int,
+    max_samples_per_branch: int = 1200,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Token windows + labels for every execution of candidate branches."""
+    wanted = set(candidates)
+    store: Dict[int, Tuple[list, list]] = {pc: ([], []) for pc in candidates}
+    for trace in profile.traces:
+        ring_pcs = np.zeros(history, dtype=np.int64)
+        ring_dirs = np.zeros(history, dtype=np.int8)
+        pos = 0
+        filled = 0
+        pcs = trace.pcs
+        cond = trace.is_conditional
+        taken_arr = trace.taken
+        for i in range(trace.n_events):
+            if not cond[i]:
+                continue
+            pc = int(pcs[i])
+            taken = bool(taken_arr[i])
+            if pc in wanted and filled >= history:
+                windows, labels = store[pc]
+                if len(labels) < max_samples_per_branch:
+                    idx = (pos + 1 + np.arange(history)) % history
+                    tokens = tokenize(ring_pcs[idx], ring_dirs[idx], vocab)
+                    windows.append(tokens.astype(np.int16))
+                    labels.append(taken)
+            pos = (pos + 1) % history
+            ring_pcs[pos] = pc
+            ring_dirs[pos] = int(taken)
+            filled += 1
+    return {
+        pc: (
+            np.asarray(w, dtype=np.int64).reshape(-1, history),
+            np.asarray(l, dtype=bool),
+        )
+        for pc, (w, l) in store.items()
+    }
+
+
+class BranchNetOptimizer:
+    """Trains and deploys BranchNet under a storage budget."""
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = BUDGET_32KB,
+        cnn_config: CnnConfig = CnnConfig(),
+        max_models: int = 48,
+        min_mispredictions: int = 4,
+        min_samples: int = 32,
+        validation_fraction: float = 0.2,
+    ) -> None:
+        self.budget_bytes = budget_bytes
+        self.cnn_config = cnn_config
+        #: Tractability cap for the unlimited variant: CNNs beyond the top
+        #: few dozen branches contribute nothing even in the paper (their
+        #: per-branch misprediction counts are tiny), so we stop there.
+        self.max_models = max_models
+        self.min_mispredictions = min_mispredictions
+        self.min_samples = min_samples
+        self.validation_fraction = validation_fraction
+
+    def train(self, profile: BranchProfile) -> BranchNetResult:
+        start = time.perf_counter()
+        candidates = select_candidates(
+            profile.per_pc,
+            min_mispredictions=self.min_mispredictions,
+            min_executions=self.min_samples,
+        )
+        candidates = candidates[: self.max_models]
+        samples = collect_token_samples(
+            profile, candidates, self.cnn_config.history, self.cnn_config.vocab
+        )
+
+        result = BranchNetResult(candidates_considered=len(candidates))
+        budget_left = self.budget_bytes
+        for pc in candidates:
+            windows, labels = samples[pc]
+            if len(labels) < self.min_samples:
+                continue
+            model = BranchNetModel(self.cnn_config)
+            if budget_left is not None and model.storage_bytes > budget_left:
+                break  # most-damaging-first: the budget is exhausted
+
+            n_val = max(1, int(len(labels) * self.validation_fraction))
+            train_w, val_w = windows[:-n_val], windows[-n_val:]
+            train_l, val_l = labels[:-n_val], labels[-n_val:]
+            if len(train_l) == 0:
+                continue
+            model.train(train_w, train_l)
+            result.trained += 1
+            result.work_units += (
+                model.n_parameters * len(train_l) * self.cnn_config.epochs
+            )
+
+            val_prob = model.predict_batch(val_w)
+            val_acc = float(((val_prob >= 0.5) == val_l).mean())
+            execs, mispredicts = profile.per_pc[pc]
+            baseline_acc = 1.0 - mispredicts / execs if execs else 1.0
+            if val_acc > baseline_acc:
+                result.models[pc] = model
+                if budget_left is not None:
+                    budget_left -= model.storage_bytes
+            else:
+                result.rejected += 1
+        result.training_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``apps``
+    List the registered application profiles and their structure.
+``figure NAME``
+    Regenerate one paper table/figure (e.g. ``fig13`` or ``table1``)
+    and print it; ``--events`` overrides the trace length.
+``optimize APP``
+    Run the full Whisper pipeline on one application and report the
+    cross-input misprediction reduction.
+``validate APP``
+    Print the workload's structural health metrics (entropy, context
+    recurrence, misprediction flatness).
+``report``
+    Assemble EXPERIMENTS.md from saved benchmark results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+_FIGURES = {
+    "fig01": ("fig01_limit_study", "run"),
+    "fig02": ("fig02_mpki", "run"),
+    "fig03": ("fig03_classification", "run"),
+    "fig04": ("fig04_prior_work", "run"),
+    "fig05": ("fig05_cdf", "run"),
+    "fig06": ("fig06_history_lengths", "run"),
+    "fig07": ("fig07_op_distribution", "run"),
+    "fig08": ("fig08_gate_delay", "run"),
+    "fig10": ("fig10_usage_model", "run"),
+    "fig11": ("fig11_encoding", "run"),
+    "fig12": ("fig12_speedup", "run"),
+    "fig13": ("fig13_reduction", "run"),
+    "fig14": ("fig14_breakdown", "run"),
+    "fig15": ("fig15_randomized", "run"),
+    "fig16": ("fig16_training_time", "run"),
+    "fig17": ("fig17_inputs", "run"),
+    "fig18": ("fig18_merging", "run"),
+    "fig19": ("fig19_overhead", "run"),
+    "fig20": ("fig20_128kb", "run"),
+    "fig21": ("fig21_predictor_size", "run"),
+    "fig22": ("fig22_warmup", "run"),
+    "fig23": ("fig23_trace_length", "run"),
+    "table1": ("tables", "run_table1"),
+    "table2": ("tables", "run_table2"),
+    "table3": ("tables", "run_table3"),
+}
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from .workloads.generator import get_program
+    from .workloads.registry import datacenter_specs, spec_benchmark_specs
+
+    print(f"{'app':16s} {'category':10s} {'functions':>9s} {'cond-branches':>13s} {'footprint':>9s}")
+    for spec in datacenter_specs() + spec_benchmark_specs():
+        program = get_program(spec)
+        print(
+            f"{spec.name:16s} {spec.category:10s} {program.n_functions:9d} "
+            f"{program.n_conditional_branches:13d} {spec.footprint_kb:7d}KB"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in _FIGURES:
+        print(f"unknown figure {args.name!r}; choose from {', '.join(sorted(_FIGURES))}")
+        return 2
+    module_name, fn_name = _FIGURES[args.name]
+    import importlib
+
+    from .experiments.runner import ExperimentContext
+
+    module = importlib.import_module(f".experiments.{module_name}", package="repro")
+    ctx = ExperimentContext(n_events=args.events)
+    result = getattr(module, fn_name)(ctx)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .bpu.runner import simulate
+    from .bpu.scaling import scaled_tage_sc_l
+    from .core.whisper import WhisperOptimizer
+    from .profiling.profile import BranchProfile
+    from .workloads.generator import generate_trace, get_program
+    from .workloads.registry import get_spec
+
+    spec = get_spec(args.app)
+    program = get_program(spec)
+    train = generate_trace(spec, 0, args.events)
+    test = generate_trace(spec, 1, args.events)
+    profile = BranchProfile.collect([train], lambda: scaled_tage_sc_l(64))
+    trained, placement, runtime = WhisperOptimizer().optimize(profile, program)
+    baseline = simulate(test, scaled_tage_sc_l(64)).with_warmup(0.3)
+    optimized = simulate(test, scaled_tage_sc_l(64), runtime=runtime).with_warmup(0.3)
+    print(f"{args.app}: {trained.n_hints} hints "
+          f"(+{100 * placement.static_overhead(program):.2f}% static), "
+          f"MPKI {baseline.mpki:.2f} -> {optimized.mpki:.2f}, "
+          f"reduction {optimized.misprediction_reduction(baseline):.1f}%")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .bpu.runner import simulate
+    from .bpu.scaling import scaled_tage_sc_l
+    from .workloads.generator import generate_trace
+    from .workloads.registry import get_spec
+    from .workloads.validation import check_workload
+
+    spec = get_spec(args.app)
+    trace = generate_trace(spec, 0, args.events)
+    result = simulate(trace, scaled_tage_sc_l(64))
+    health = check_workload(trace, result)
+    print(f"{args.app}: history entropy {health.entropy_bits:.2f}/"
+          f"{health.entropy_bound} bits "
+          f"({100 * health.entropy_utilisation:.0f}% of uniform)")
+    rec = health.recurrence
+    print(f"  follower recurrence (depth 33-128): {rec.n_branches} branches, "
+          f"median {rec.median_executions:.0f} execs over "
+          f"{rec.median_distinct_contexts:.0f} contexts, "
+          f"{100 * rec.median_recurring_fraction:.0f}% recurring")
+    print(f"  top-50 misprediction share: {health.top50_share:.1f}%")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import build_experiments_md
+
+    results = pathlib.Path(args.results)
+    output = pathlib.Path(args.output)
+    build_experiments_md(results, output)
+    print(f"wrote {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Whisper (MICRO 2022) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list registered applications").set_defaults(
+        func=_cmd_apps
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one paper table/figure")
+    figure.add_argument("name", help="e.g. fig13, table1")
+    figure.add_argument("--events", type=int, default=None, help="trace length per app")
+    figure.set_defaults(func=_cmd_figure)
+
+    optimize = sub.add_parser("optimize", help="run Whisper on one application")
+    optimize.add_argument("app")
+    optimize.add_argument("--events", type=int, default=80_000)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    validate = sub.add_parser("validate", help="workload structural health check")
+    validate.add_argument("app")
+    validate.add_argument("--events", type=int, default=80_000)
+    validate.set_defaults(func=_cmd_validate)
+
+    report = sub.add_parser("report", help="assemble EXPERIMENTS.md from results")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Whisper's core: formulas, hashing, search, training, hints, injection."""
+
+from .formulas import (
+    AND,
+    CNIMPL,
+    IMPL,
+    OR,
+    ROMBF_OPS,
+    WHISPER_OPS,
+    FormulaTree,
+    all_formula_table,
+    apply_op,
+    encoded_bits,
+    formula_from_index,
+    formula_space_size,
+    random_formula,
+)
+from .formula_analysis import (
+    distinct_functions,
+    encoding_redundancy,
+    expressiveness_gain,
+    function_coverage,
+)
+from .geometric import geometric_lengths, length_index
+from .hashing import HistoryRegister, fold_history, fold_many, mask_history
+from .hint_buffer import DEFAULT_BUFFER_ENTRIES, HintBuffer, TableHintRuntime, WhisperRuntime
+from .hints import BIAS_NONE, BIAS_NOT_TAKEN, BIAS_TAKEN, BrHint
+from .injection import HintPlacement, inject_hints
+from .rombf import RombfOptimizer, RombfResult
+from .serialization import load_placement, load_runtime, save_placement
+from .search import (
+    DEFAULT_EXPLORE_FRACTION,
+    FormulaSearch,
+    SearchResult,
+    find_best_formula_scalar,
+    fisher_yates_permutation,
+    satisfy,
+)
+from .training import BranchTrainingData, collect_training_data, select_candidates
+from .whisper import TrainedBranch, WhisperConfig, WhisperOptimizer, WhisperResult
+
+__all__ = [
+    "AND", "OR", "IMPL", "CNIMPL", "WHISPER_OPS", "ROMBF_OPS",
+    "FormulaTree", "all_formula_table", "apply_op", "encoded_bits",
+    "formula_from_index", "formula_space_size", "random_formula",
+    "geometric_lengths", "length_index",
+    "distinct_functions", "encoding_redundancy",
+    "expressiveness_gain", "function_coverage",
+    "HistoryRegister", "fold_history", "fold_many", "mask_history",
+    "BrHint", "BIAS_NONE", "BIAS_TAKEN", "BIAS_NOT_TAKEN",
+    "HintBuffer", "WhisperRuntime", "TableHintRuntime", "DEFAULT_BUFFER_ENTRIES",
+    "HintPlacement", "inject_hints",
+    "save_placement", "load_placement", "load_runtime",
+    "RombfOptimizer", "RombfResult",
+    "FormulaSearch", "SearchResult", "DEFAULT_EXPLORE_FRACTION",
+    "find_best_formula_scalar", "fisher_yates_permutation", "satisfy",
+    "BranchTrainingData", "collect_training_data", "select_candidates",
+    "WhisperOptimizer", "WhisperConfig", "WhisperResult", "TrainedBranch",
+]

@@ -1,0 +1,105 @@
+"""Formula-space analytics behind the §III-B/§III-C design claims.
+
+Two facts about the 15-bit brhint encoding, measured rather than assumed:
+
+* **The encoding is injective** (at the paper's n = 8): the tree shape
+  is fixed, so no re-association redundancy exists, and empirically no
+  two op/invert combinations compute the same function — all 32768
+  encodings are distinct Boolean functions.  Every bit of the formula
+  field pulls its weight.
+* **Randomized testing works because near-optimal formulas are dense**,
+  not because the encoding repeats functions: for realistic taken/
+  not-taken tables many formulas land within a few mispredictions of the
+  optimum, so a uniform 0.1 % sample almost always contains one
+  (Fig 15's 88.3 %-of-exhaustive result).
+
+This module provides the measurement tools:
+
+* :func:`distinct_functions` / :func:`encoding_redundancy` — reachable
+  function counts per op-set variant (vs the 2^2^n total space);
+* :func:`function_coverage` — distinct functions covered by the actual
+  Fisher-Yates candidate prefix at a given exploration fraction;
+* :func:`expressiveness_gain` — distinct functions added by the
+  IMPL/CNIMPL extension and the inversion stage over the original
+  AND/OR ROMBF (the §III-C contribution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .formulas import ROMBF_OPS, WHISPER_OPS, all_formula_table
+from .search import fisher_yates_permutation
+
+
+def _function_keys(n_inputs: int, ops_allowed: Tuple[int, ...], with_invert: bool) -> np.ndarray:
+    """A hashable key per encoding: the packed truth table."""
+    table = all_formula_table(n_inputs, ops_allowed)
+    packed = np.packbits(table, axis=1)
+    keys = np.ascontiguousarray(packed).view(
+        np.dtype((np.void, packed.shape[1]))
+    ).ravel()
+    if not with_invert:
+        return keys
+    inverted = np.packbits(~table, axis=1)
+    inv_keys = np.ascontiguousarray(inverted).view(
+        np.dtype((np.void, inverted.shape[1]))
+    ).ravel()
+    # Encoding order: (op_index << 1) | invert.
+    out = np.empty(len(keys) * 2, dtype=keys.dtype)
+    out[0::2] = keys
+    out[1::2] = inv_keys
+    return out
+
+
+def distinct_functions(
+    n_inputs: int = 8,
+    ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+    with_invert: bool = True,
+) -> int:
+    """Number of distinct Boolean functions the encoding space reaches."""
+    return len(np.unique(_function_keys(n_inputs, ops_allowed, with_invert)))
+
+
+def encoding_redundancy(
+    n_inputs: int = 8,
+    ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+    with_invert: bool = True,
+) -> float:
+    """Mean encodings per reachable function (1.0 = injective encoding)."""
+    keys = _function_keys(n_inputs, ops_allowed, with_invert)
+    return len(keys) / len(np.unique(keys))
+
+
+def function_coverage(
+    fraction: float,
+    n_inputs: int = 8,
+    ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+    with_invert: bool = True,
+    seed: int = 0x5A17,
+) -> float:
+    """Share of reachable functions covered by a randomized-subset search.
+
+    Uses the same Fisher-Yates permutation as :class:`FormulaSearch`, so
+    the returned coverage describes the *actual* candidate set Whisper
+    would test at that exploration fraction.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    keys = _function_keys(n_inputs, ops_allowed, with_invert)
+    perm = fisher_yates_permutation(len(keys), seed)
+    n_candidates = max(1, int(round(fraction * len(keys))))
+    subset = keys[perm[:n_candidates]]
+    return len(np.unique(subset)) / len(np.unique(keys))
+
+
+def expressiveness_gain(n_inputs: int = 8) -> Dict[str, int]:
+    """Distinct functions per op-set variant (the §III-C comparison)."""
+    return {
+        "rombf (and/or)": distinct_functions(n_inputs, ROMBF_OPS, with_invert=False),
+        "rombf + invert": distinct_functions(n_inputs, ROMBF_OPS, with_invert=True),
+        "whisper (4 ops)": distinct_functions(n_inputs, WHISPER_OPS, with_invert=False),
+        "whisper + invert": distinct_functions(n_inputs, WHISPER_OPS, with_invert=True),
+    }

@@ -1,0 +1,351 @@
+"""Extended Read-Once Monotone Boolean Formulas (paper §III-C, Figs 8-9).
+
+A formula over ``n`` history bits is a complete binary tree of ``n - 1``
+two-input *single units*.  Each single unit computes one of four logical
+operations selected by two control bits (Fig. 8):
+
+===========  ====  =========================
+operation    code  truth function (a, b)
+===========  ====  =========================
+AND          0     ``a & b``
+OR           1     ``a | b``
+IMPL         2     ``(not a) | b``   (a -> b)
+CNIMPL       3     ``(not a) & b``   (converse non-implication)
+===========  ====  =========================
+
+A final 2x1 multiplexer optionally inverts the tree's output (control
+input ``I`` in Fig. 8).  For ``n = 8`` this yields the 15-bit formula
+field of the brhint instruction: 14 op bits + 1 inversion bit.
+
+The original ROMBF of Jimenez et al. (PACT 2001) is the restriction to
+ops {AND, OR} with no inversion bit, encoded in ``n - 1`` bits; it is
+available through the same machinery via ``ops_allowed=ROMBF_OPS``.
+
+Encoding layout
+---------------
+The op digits form a mixed-radix number in base ``B = len(ops_allowed)``:
+for a tree over inputs ``[lo, hi)`` with ``half = (hi - lo) // 2``::
+
+    index = root_digit * B**(n - 2) + left_index * B**(half - 1) + right_index
+
+i.e. the op tuple is stored in pre-order (root, left subtree, right
+subtree).  The full encoded integer is ``(index << 1) | invert`` when the
+op set includes an inversion stage, giving exactly ``2 * (n - 1) + 1``
+bits for the 4-op set.
+
+Input convention: leaf ``b0`` is bit 0 (the LSB) of the hashed history,
+i.e. the **most recent** branch outcome; the left subtree covers the most
+recent half of the history bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+AND = 0
+OR = 1
+IMPL = 2
+CNIMPL = 3
+
+OP_NAMES = {AND: "and", OR: "or", IMPL: "impl", CNIMPL: "cnimpl"}
+OP_SYMBOLS = {AND: "&", OR: "|", IMPL: "->", CNIMPL: "-/>"}
+
+#: Whisper's extended op set (paper §III-C).
+WHISPER_OPS: Tuple[int, ...] = (AND, OR, IMPL, CNIMPL)
+#: The original read-once monotone op set (Jimenez et al. 2001).
+ROMBF_OPS: Tuple[int, ...] = (AND, OR)
+
+
+def apply_op(op: int, a, b):
+    """Apply a single-unit operation to scalars or NumPy boolean arrays."""
+    if op == AND:
+        return a & b
+    if op == OR:
+        return a | b
+    if op == IMPL:
+        return (~a & 1) | b if isinstance(a, (int, np.integer)) else (~a) | b
+    if op == CNIMPL:
+        return (~a & 1) & b if isinstance(a, (int, np.integer)) else (~a) & b
+    raise ValueError(f"unknown op code {op}")
+
+
+def _check_n_inputs(n_inputs: int) -> None:
+    if n_inputs < 2 or (n_inputs & (n_inputs - 1)) != 0:
+        raise ValueError(f"n_inputs must be a power of two >= 2, got {n_inputs}")
+
+
+def formula_space_size(n_inputs: int, num_ops: int = 4, with_invert: bool = True) -> int:
+    """Number of distinct encodings for a formula tree.
+
+    For the paper's n=8, 4-op, inverted formulas this is 2**15 = 32768.
+    Distinct *encodings*, not distinct Boolean functions: the encoding is
+    redundant, which is harmless for search (ties resolve arbitrarily).
+    """
+    _check_n_inputs(n_inputs)
+    size = num_ops ** (n_inputs - 1)
+    return size * 2 if with_invert else size
+
+
+def encoded_bits(n_inputs: int, num_ops: int = 4, with_invert: bool = True) -> int:
+    """Width in bits of the encoded formula field (15 for the paper's brhint)."""
+    size = formula_space_size(n_inputs, num_ops, with_invert)
+    return (size - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class FormulaTree:
+    """An extended ROMBF: a complete tree of single units plus an invert mux.
+
+    ``ops`` is the pre-order tuple of op codes, length ``n_inputs - 1``.
+    """
+
+    ops: Tuple[int, ...]
+    invert: bool = False
+    n_inputs: int = 8
+
+    def __post_init__(self) -> None:
+        _check_n_inputs(self.n_inputs)
+        if len(self.ops) != self.n_inputs - 1:
+            raise ValueError(
+                f"expected {self.n_inputs - 1} ops for {self.n_inputs} inputs, got {len(self.ops)}"
+            )
+        for op in self.ops:
+            if op not in OP_NAMES:
+                raise ValueError(f"unknown op code {op}")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, history: int) -> int:
+        """Evaluate the formula on an ``n_inputs``-bit hashed history.
+
+        Bit ``i`` of ``history`` is leaf ``b_i``.  Returns 0 or 1.
+        """
+        bits = [(history >> i) & 1 for i in range(self.n_inputs)]
+        value = self._eval_slice(self.ops, bits)
+        return value ^ int(self.invert)
+
+    @staticmethod
+    def _eval_slice(ops: Sequence[int], bits: Sequence[int]) -> int:
+        n = len(bits)
+        if n == 1:
+            return bits[0]
+        half = n // 2
+        left_ops = ops[1 : half]  # half - 1 units
+        right_ops = ops[half:]
+        left = FormulaTree._eval_slice(left_ops, bits[:half])
+        right = FormulaTree._eval_slice(right_ops, bits[half:])
+        return apply_op(ops[0], left, right) & 1
+
+    def evaluate_batch(self, histories: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`evaluate` over an integer array of histories."""
+        histories = np.asarray(histories, dtype=np.int64)
+        bits = [((histories >> i) & 1).astype(bool) for i in range(self.n_inputs)]
+        value = self._eval_slice_batch(self.ops, bits)
+        if self.invert:
+            value = ~value
+        return value
+
+    @staticmethod
+    def _eval_slice_batch(ops: Sequence[int], bits: Sequence[np.ndarray]) -> np.ndarray:
+        n = len(bits)
+        if n == 1:
+            return bits[0]
+        half = n // 2
+        left = FormulaTree._eval_slice_batch(ops[1:half], bits[:half])
+        right = FormulaTree._eval_slice_batch(ops[half:], bits[half:])
+        return apply_op(ops[0], left, right)
+
+    def truth_table(self) -> np.ndarray:
+        """Boolean output for every possible hashed-history value."""
+        return self.evaluate_batch(np.arange(1 << self.n_inputs))
+
+    # ------------------------------------------------------------------
+    # Encoding (paper Fig. 11, 15-bit formula field for n = 8)
+    # ------------------------------------------------------------------
+    def encode(self, ops_allowed: Tuple[int, ...] = WHISPER_OPS, with_invert: bool = True) -> int:
+        """Pack the formula into the brhint integer encoding."""
+        base = len(ops_allowed)
+        digit_of = {op: i for i, op in enumerate(ops_allowed)}
+        try:
+            digits = [digit_of[op] for op in self.ops]
+        except KeyError as exc:
+            raise ValueError(f"op {OP_NAMES[exc.args[0]]} not in allowed set") from None
+        index = self._encode_slice(digits, base)
+        if with_invert:
+            return (index << 1) | int(self.invert)
+        if self.invert:
+            raise ValueError("invert bit set but encoding has no inversion stage")
+        return index
+
+    @staticmethod
+    def _encode_slice(digits: Sequence[int], base: int) -> int:
+        n_units = len(digits)
+        if n_units == 0:
+            return 0
+        n = n_units + 1  # number of leaves under this subtree
+        half = n // 2
+        left = FormulaTree._encode_slice(digits[1:half], base)
+        right = FormulaTree._encode_slice(digits[half:], base)
+        return digits[0] * base ** (n - 2) + left * base ** (half - 1) + right
+
+    @classmethod
+    def decode(
+        cls,
+        encoded: int,
+        n_inputs: int = 8,
+        ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+        with_invert: bool = True,
+    ) -> "FormulaTree":
+        """Inverse of :meth:`encode`."""
+        _check_n_inputs(n_inputs)
+        base = len(ops_allowed)
+        size = formula_space_size(n_inputs, base, with_invert)
+        if not 0 <= encoded < size:
+            raise ValueError(f"encoded value {encoded} out of range [0, {size})")
+        invert = False
+        if with_invert:
+            invert = bool(encoded & 1)
+            encoded >>= 1
+        digits = cls._decode_slice(encoded, n_inputs, base)
+        ops = tuple(ops_allowed[d] for d in digits)
+        return cls(ops=ops, invert=invert, n_inputs=n_inputs)
+
+    @staticmethod
+    def _decode_slice(index: int, n: int, base: int) -> list:
+        if n == 1:
+            return []
+        half = n // 2
+        root_weight = base ** (n - 2)
+        root = index // root_weight
+        rest = index % root_weight
+        left_weight = base ** (half - 1)
+        left_index = rest // left_weight
+        right_index = rest % left_weight
+        left = FormulaTree._decode_slice(left_index, half, base)
+        right = FormulaTree._decode_slice(right_index, n - half, base)
+        return [root] + left + right
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def to_expression(self) -> str:
+        """Human-readable infix rendering, e.g. ``((b0 & b1) -> (b2 | b3))``."""
+        expr, _ = self._expr_slice(self.ops, 0, self.n_inputs)
+        return f"~{expr}" if self.invert else expr
+
+    @staticmethod
+    def _expr_slice(ops: Sequence[int], lo: int, hi: int) -> Tuple[str, int]:
+        n = hi - lo
+        if n == 1:
+            return f"b{lo}", 0
+        half = n // 2
+        left, _ = FormulaTree._expr_slice(ops[1:half], lo, lo + half)
+        right, _ = FormulaTree._expr_slice(ops[half:], lo + half, hi)
+        return f"({left} {OP_SYMBOLS[ops[0]]} {right})", 0
+
+    def dominant_op(self) -> str:
+        """Classify the formula for the Fig. 7 op-distribution analysis.
+
+        Constant formulas classify as ``always-taken``/``never-taken``;
+        otherwise the most frequent single-unit op wins, with ties (no
+        strict majority op) reported as ``others``.
+        """
+        table = self.truth_table()
+        if table.all():
+            return "always-taken"
+        if not table.any():
+            return "never-taken"
+        counts = {}
+        for op in self.ops:
+            counts[op] = counts.get(op, 0) + 1
+        best_op, best_count = max(counts.items(), key=lambda item: item[1])
+        if sum(1 for count in counts.values() if count == best_count) > 1:
+            return "others"
+        return OP_NAMES[best_op]
+
+    def gate_delay(self) -> int:
+        """Worst-case logic depth in gates (paper §III-C).
+
+        Each single unit costs at most 5 gates (NOT, AND/OR, and three
+        gates of the 4x1 mux); the final inversion stage costs 4 gates
+        (NOT plus three gates of the 2x1 mux).  For n = 8 this is the
+        paper's 19-gate figure: 3 layers x 5 + 4.
+        """
+        layers = (self.n_inputs - 1).bit_length()  # log2(n) for powers of two
+        return 5 * layers + 4
+
+    def storage_bits(self, ops_allowed: Tuple[int, ...] = WHISPER_OPS, with_invert: bool = True) -> int:
+        """Bits needed to store this formula's encoding."""
+        return encoded_bits(self.n_inputs, len(ops_allowed), with_invert)
+
+
+# ----------------------------------------------------------------------
+# Whole-space truth tables (used by the vectorised formula search)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=8)
+def all_formula_table(n_inputs: int = 8, ops_allowed: Tuple[int, ...] = WHISPER_OPS) -> np.ndarray:
+    """Truth table of *every* op-combination formula (inversion excluded).
+
+    Returns a boolean array of shape ``(B**(n-1), 2**n)`` where row ``f``
+    is the output of the formula whose op-digit index is ``f`` (encoding
+    layout above, pre-inversion) on every possible hashed history.
+
+    Built by dynamic programming over the tree: the table for a subtree of
+    ``n`` leaves combines the two ``n/2``-leaf sub-tables under each of the
+    ``B`` root ops.  For the paper's n = 8, 4-op space this is a
+    16384 x 256 matrix (~4 MB) computed once and cached; the randomized
+    formula search then reduces to matrix-vector products.
+    """
+    _check_n_inputs(n_inputs)
+    histories = np.arange(1 << n_inputs, dtype=np.int64)
+    bits = [((histories >> i) & 1).astype(bool) for i in range(n_inputs)]
+
+    def rec(lo: int, hi: int) -> np.ndarray:
+        n = hi - lo
+        if n == 1:
+            return bits[lo][np.newaxis, :]
+        half = n // 2
+        left = rec(lo, lo + half)  # (B**(half-1), H)
+        right = rec(lo + half, hi)
+        combos = []
+        for op in ops_allowed:
+            combined = apply_op(op, left[:, np.newaxis, :], right[np.newaxis, :, :])
+            combos.append(combined)
+        stacked = np.stack(combos, axis=0)  # (B, nL, nR, H)
+        return stacked.reshape(-1, stacked.shape[-1])
+
+    return rec(0, n_inputs)
+
+
+def formula_from_index(
+    index: int,
+    invert: bool,
+    n_inputs: int = 8,
+    ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+) -> FormulaTree:
+    """Build the :class:`FormulaTree` for a row of :func:`all_formula_table`."""
+    digits = FormulaTree._decode_slice(index, n_inputs, len(ops_allowed))
+    ops = tuple(ops_allowed[d] for d in digits)
+    return FormulaTree(ops=ops, invert=invert, n_inputs=n_inputs)
+
+
+def random_formula(
+    rng: np.random.Generator,
+    n_inputs: int = 8,
+    ops_allowed: Tuple[int, ...] = WHISPER_OPS,
+    allow_invert: bool = True,
+) -> FormulaTree:
+    """Draw a uniformly random formula encoding (used by workload synthesis)."""
+    ops = tuple(ops_allowed[int(d)] for d in rng.integers(0, len(ops_allowed), n_inputs - 1))
+    invert = bool(rng.integers(0, 2)) if allow_invert else False
+    return FormulaTree(ops=ops, invert=invert, n_inputs=n_inputs)
+
+
+# Read-once trees cannot express tautology/contradiction (every leaf is a
+# live variable); constant predictions are carried by the brhint's 2-bit
+# Bias field instead (paper Fig. 11, implemented in ``repro.core.hints``).

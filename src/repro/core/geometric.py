@@ -1,0 +1,76 @@
+"""Geometric series of candidate history lengths (paper §III-A).
+
+Whisper correlates each static branch with hashed histories of several
+candidate lengths.  The candidates follow a geometric series
+``a, a*r, a*r^2, ..., a*r^(m-1)`` with ``r = (N / a) ** (1 / (m - 1))``,
+mirroring the O-GEHL/TAGE geometric history schedule the paper cites.
+The paper's empirically chosen parameters (Table III) are ``a = 8``,
+``N = 1024`` and ``m = 16``, which produce the series
+``8, 11, 15, ..., 1024`` referenced in §IV.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Paper defaults (Table III).
+DEFAULT_MIN_LENGTH = 8
+DEFAULT_MAX_LENGTH = 1024
+DEFAULT_NUM_LENGTHS = 16
+
+
+def geometric_lengths(
+    minimum: int = DEFAULT_MIN_LENGTH,
+    maximum: int = DEFAULT_MAX_LENGTH,
+    count: int = DEFAULT_NUM_LENGTHS,
+) -> List[int]:
+    """Return ``count`` strictly increasing history lengths.
+
+    The first element is exactly ``minimum`` and the last is exactly
+    ``maximum``.  Intermediate terms are rounded to the nearest integer;
+    collisions introduced by rounding are resolved by bumping upward so
+    the series stays strictly increasing.
+
+    >>> geometric_lengths()[:4]
+    [8, 11, 15, 21]
+    >>> geometric_lengths()[-1]
+    1024
+    """
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if minimum < 1:
+        raise ValueError("minimum history length must be positive")
+    if maximum <= minimum:
+        raise ValueError("maximum must exceed minimum")
+    if maximum - minimum + 1 < count:
+        raise ValueError(
+            f"cannot fit {count} distinct lengths into [{minimum}, {maximum}]"
+        )
+
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths: List[int] = []
+    for term in range(count):
+        value = int(round(minimum * ratio**term))
+        if lengths and value <= lengths[-1]:
+            value = lengths[-1] + 1
+        lengths.append(value)
+    lengths[0] = minimum
+    lengths[-1] = maximum
+    # Forcing the last term back to `maximum` may collide with bumped-up
+    # neighbours; repair backwards (feasibility guarantees room).
+    for i in range(count - 2, 0, -1):
+        if lengths[i] >= lengths[i + 1]:
+            lengths[i] = lengths[i + 1] - 1
+    return lengths
+
+
+def length_index(length: int, lengths: List[int]) -> int:
+    """Return the index of ``length`` in ``lengths`` (for the 4-bit field).
+
+    The brhint instruction encodes the chosen history length as a 4-bit
+    index into the geometric series (Fig. 11), not as a raw length.
+    """
+    try:
+        return lengths.index(length)
+    except ValueError:
+        raise ValueError(f"history length {length} is not in the series {lengths}") from None

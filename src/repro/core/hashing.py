@@ -1,0 +1,175 @@
+"""History hashing (paper §III-A, "History hashing").
+
+Whisper converts a branch history of arbitrary length into a fixed-width
+hashed history by splitting the history bit-vector into fixed-width chunks
+and folding the chunks together with a logical operation.  The paper
+empirically selects an 8-bit hash produced with XOR folding; AND and OR
+folds are also implemented because the paper's sensitivity study compares
+against them (and we reproduce that ablation).
+
+Histories are represented as Python integers in which **bit 0 (the LSB) is
+the most recent branch outcome** (1 = taken).  A history of length ``L``
+therefore occupies bits ``0 .. L-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Paper default hashed-history width (Table III).
+DEFAULT_HASH_BITS = 8
+
+_FOLD_OPS = ("xor", "and", "or")
+
+
+def mask_history(history: int, length: int) -> int:
+    """Keep only the ``length`` most recent outcomes of ``history``."""
+    if length < 0:
+        raise ValueError("history length must be non-negative")
+    return history & ((1 << length) - 1)
+
+
+def fold_history(history: int, length: int, width: int = DEFAULT_HASH_BITS, op: str = "xor") -> int:
+    """Fold the ``length`` most recent outcomes into a ``width``-bit hash.
+
+    For ``length <= width`` the fold is the identity on the masked history,
+    which is what lets a 15-bit formula "directly predict a branch with a
+    history length of 8" (paper §IV).  Longer histories are split into
+    ``width``-bit chunks (most recent chunk first) that are combined with
+    ``op``.  The final, possibly partial, chunk participates as-is, i.e.
+    zero-padded at the top, matching a hardware folded-history register.
+    """
+    if op not in _FOLD_OPS:
+        raise ValueError(f"unsupported fold op {op!r}; expected one of {_FOLD_OPS}")
+    if width < 1:
+        raise ValueError("hash width must be positive")
+
+    value = mask_history(history, length)
+    chunk_mask = (1 << width) - 1
+    if length <= width:
+        return value & chunk_mask
+
+    folded = value & chunk_mask
+    value >>= width
+    while value:
+        chunk = value & chunk_mask
+        if op == "xor":
+            folded ^= chunk
+        elif op == "and":
+            folded &= chunk
+        else:
+            folded |= chunk
+        value >>= width
+    return folded
+
+
+def fold_history_array(
+    histories: np.ndarray, length: int, width: int = DEFAULT_HASH_BITS, op: str = "xor"
+) -> np.ndarray:
+    """Vectorised :func:`fold_history` over an array of histories.
+
+    ``histories`` must be an integer array; lengths above 64 bits are not
+    representable in NumPy integers, so callers with longer histories use
+    the scalar path (training keeps per-sample Python ints for L > 64 and
+    only vectorises the common short-history case).
+    """
+    if op not in _FOLD_OPS:
+        raise ValueError(f"unsupported fold op {op!r}; expected one of {_FOLD_OPS}")
+    if length > 64:
+        raise ValueError("fold_history_array supports lengths up to 64 bits")
+
+    values = histories.astype(np.uint64)
+    if length < 64:
+        values = values & np.uint64((1 << length) - 1)
+    chunk_mask = np.uint64((1 << width) - 1)
+    folded = values & chunk_mask
+    values = values >> np.uint64(width)
+    shifted = length - width
+    while shifted > 0:
+        chunk = values & chunk_mask
+        if op == "xor":
+            folded ^= chunk
+        elif op == "and":
+            folded &= chunk
+        else:
+            folded |= chunk
+        values = values >> np.uint64(width)
+        shifted -= width
+    return folded.astype(np.int64)
+
+
+def fold_many(
+    history: int,
+    lengths,
+    width: int = DEFAULT_HASH_BITS,
+    op: str = "xor",
+) -> list:
+    """Fold one history at several lengths; equals ``[fold_history(...)]``.
+
+    Training evaluates every candidate geometric length for every profile
+    sample, so this path matters.  For the common case (``width == 8``,
+    XOR fold) the history is serialised to bytes once and a prefix-XOR
+    array makes each length O(1); other widths/ops fall back to the
+    scalar fold.
+    """
+    if width != 8 or op != "xor":
+        return [fold_history(history, length, width, op) for length in lengths]
+
+    max_length = max(lengths) if lengths else 0
+    n_bytes = (max_length + 7) // 8
+    if n_bytes == 0:
+        return [0 for _ in lengths]
+    raw = mask_history(history, max_length).to_bytes(n_bytes, "little")
+    data = np.frombuffer(raw, dtype=np.uint8)
+    prefix = np.zeros(n_bytes + 1, dtype=np.uint8)
+    np.bitwise_xor.accumulate(data, out=prefix[1:])
+
+    folds = []
+    for length in lengths:
+        whole, rem = divmod(length, 8)
+        value = int(prefix[whole])
+        if rem:
+            value ^= raw[whole] & ((1 << rem) - 1)
+        folds.append(value)
+    return folds
+
+
+class HistoryRegister:
+    """A shift register of recent branch outcomes (global history).
+
+    Mirrors the global-history register the hardware maintains: outcomes are
+    shifted in at bit 0, and :meth:`hashed` produces the folded view a
+    brhint consumes at prediction time.
+    """
+
+    __slots__ = ("max_length", "_bits")
+
+    def __init__(self, max_length: int = 1024) -> None:
+        if max_length < 1:
+            raise ValueError("max_length must be positive")
+        self.max_length = max_length
+        self._bits = 0
+
+    def push(self, taken: bool) -> None:
+        """Record a branch outcome as the most recent history bit."""
+        self._bits = ((self._bits << 1) | int(bool(taken))) & ((1 << self.max_length) - 1)
+
+    def value(self, length: int | None = None) -> int:
+        """Return the raw history, optionally truncated to ``length`` bits."""
+        if length is None:
+            return self._bits
+        if length > self.max_length:
+            raise ValueError(f"requested length {length} exceeds max_length {self.max_length}")
+        return mask_history(self._bits, length)
+
+    def hashed(self, length: int, width: int = DEFAULT_HASH_BITS, op: str = "xor") -> int:
+        """Return the ``width``-bit fold of the ``length`` most recent outcomes."""
+        if length > self.max_length:
+            raise ValueError(f"requested length {length} exceeds max_length {self.max_length}")
+        return fold_history(self._bits, length, width, op)
+
+    def clear(self) -> None:
+        self._bits = 0
+
+    def __len__(self) -> int:
+        return self.max_length

@@ -1,0 +1,143 @@
+"""Runtime hint buffer and the Whisper hint runtime (paper §IV).
+
+When a brhint instruction executes, its four fields are parked in a small
+hint buffer (32 entries in the paper's sensitivity study).  While
+predicting a branch, the buffer is probed in parallel with the branch
+predictor; on a hit the hint's formula (or bias) supplies the prediction
+and the online predictor is told not to allocate for the branch.
+
+:class:`WhisperRuntime` plugs this machinery into the trace-replay runner
+(:mod:`repro.bpu.runner`): ``on_block`` models brhint execution (the
+hints injected into that block are loaded), ``predict`` models the
+parallel probe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..bpu.runner import HintRuntime, RunContext
+from ..core.formulas import FormulaTree
+from ..core.hashing import fold_history
+from .hints import BIAS_NONE, BIAS_NOT_TAKEN, BIAS_TAKEN, BrHint
+
+#: Paper default (Table III).
+DEFAULT_BUFFER_ENTRIES = 32
+
+
+class _BufferEntry:
+    __slots__ = ("hint", "formula", "length", "hash_op")
+
+    def __init__(self, hint: BrHint, hash_op: str = "xor") -> None:
+        self.hint = hint
+        self.formula: Optional[FormulaTree] = hint.formula()
+        self.length = hint.history_length
+        self.hash_op = hash_op
+
+    def predict(self, history: int) -> bool:
+        bias = self.hint.bias
+        if bias == BIAS_TAKEN:
+            return True
+        if bias == BIAS_NOT_TAKEN:
+            return False
+        hashed = fold_history(history, self.length, op=self.hash_op)
+        return bool(self.formula.evaluate(hashed))
+
+
+class HintBuffer:
+    """A small LRU buffer of in-flight hints, keyed by branch PC."""
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_BUFFER_ENTRIES) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unlimited)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, _BufferEntry]" = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def load(self, branch_pc: int, entry: "_BufferEntry | BrHint") -> None:
+        """Model executing a brhint: park the hint, evicting LRU if full."""
+        self.loads += 1
+        if branch_pc in self._entries:
+            self._entries.move_to_end(branch_pc)
+            return
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        if isinstance(entry, BrHint):
+            entry = _BufferEntry(entry)
+        self._entries[branch_pc] = entry
+
+    def lookup(self, branch_pc: int) -> Optional[_BufferEntry]:
+        entry = self._entries.get(branch_pc)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(branch_pc)
+        return entry
+
+
+class WhisperRuntime(HintRuntime):
+    """Hint runtime driven by a link-time hint placement.
+
+    ``placements`` maps a basic-block id to the hints whose brhint
+    instructions were injected into that block, each paired with the PC
+    of the branch it covers.
+    """
+
+    def __init__(
+        self,
+        placements: Dict[int, List[Tuple[int, BrHint]]],
+        buffer_entries: Optional[int] = DEFAULT_BUFFER_ENTRIES,
+        hash_op: str = "xor",
+    ) -> None:
+        self.placements = placements
+        self.buffer = HintBuffer(buffer_entries)
+        # Decode each hint's formula once; buffer loads then share entries.
+        self._decoded: Dict[int, List[Tuple[int, _BufferEntry]]] = {
+            block: [(pc, _BufferEntry(hint, hash_op)) for pc, hint in hints]
+            for block, hints in placements.items()
+        }
+
+    def reset(self) -> None:
+        self.buffer.clear()
+
+    def on_block(self, block_id: int) -> None:
+        hints = self._decoded.get(block_id)
+        if hints:
+            for branch_pc, entry in hints:
+                self.buffer.load(branch_pc, entry)
+
+    def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        entry = self.buffer.lookup(pc)
+        if entry is None:
+            return None
+        return entry.predict(ctx.history)
+
+
+class TableHintRuntime(HintRuntime):
+    """Always-active hint table (no buffer, no injection).
+
+    Models schemes that annotate branch instructions directly — the ROMBF
+    baseline, and Whisper's infinite-buffer ablation.  ``table`` maps a
+    branch PC to a predictor callable ``(history:int) -> bool``.
+    """
+
+    def __init__(self, table: Dict[int, object]) -> None:
+        self.table = table
+
+    def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        entry = self.table.get(pc)
+        if entry is None:
+            return None
+        return entry(ctx.history)

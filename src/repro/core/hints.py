@@ -1,0 +1,106 @@
+"""The brhint instruction encoding (paper Fig. 11).
+
+A brhint packs four fields into 33 bits::
+
+    | History (4) | Boolean formula (15) | Bias (2) | PC pointer (12) |
+
+* ``History`` — index into the geometric series of candidate history
+  lengths (8, 11, 15, ..., 1024).
+* ``Boolean formula`` — the extended-ROMBF encoding over the 8-bit hashed
+  history: 14 single-unit op bits plus the final inversion bit.
+* ``Bias`` — 0 = use the formula, 1 = always taken, 2 = never taken.
+* ``PC pointer`` — forward distance, in instruction slots, from the
+  brhint to the branch it covers.  Twelve bits cover the vast majority of
+  branches (>80 % per the paper); farther branches go unhinted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .formulas import FormulaTree
+from .geometric import geometric_lengths
+
+HISTORY_BITS = 4
+FORMULA_BITS = 15
+BIAS_BITS = 2
+PC_BITS = 12
+TOTAL_BITS = HISTORY_BITS + FORMULA_BITS + BIAS_BITS + PC_BITS
+
+BIAS_NONE = 0
+BIAS_TAKEN = 1
+BIAS_NOT_TAKEN = 2
+
+_BIAS_NAMES = {BIAS_NONE: "none", BIAS_TAKEN: "taken", BIAS_NOT_TAKEN: "not-taken"}
+
+
+@dataclass(frozen=True)
+class BrHint:
+    """One decoded brhint instruction."""
+
+    history_index: int  # 4-bit index into the geometric length series
+    formula_bits: int  # 15-bit extended-ROMBF encoding
+    bias: int  # 2-bit bias field
+    pc_offset: int  # 12-bit forward distance to the branch (instructions)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.history_index < (1 << HISTORY_BITS):
+            raise ValueError("history_index out of 4-bit range")
+        if not 0 <= self.formula_bits < (1 << FORMULA_BITS):
+            raise ValueError("formula_bits out of 15-bit range")
+        if self.bias not in _BIAS_NAMES:
+            raise ValueError("bias must be 0 (none), 1 (taken) or 2 (not-taken)")
+        if not 0 <= self.pc_offset < (1 << PC_BITS):
+            raise ValueError("pc_offset out of 12-bit range")
+
+    # ------------------------------------------------------------------
+    def encode(self) -> int:
+        """Pack into the 33-bit instruction payload (MSB-first fields)."""
+        value = self.history_index
+        value = (value << FORMULA_BITS) | self.formula_bits
+        value = (value << BIAS_BITS) | self.bias
+        value = (value << PC_BITS) | self.pc_offset
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "BrHint":
+        if not 0 <= value < (1 << TOTAL_BITS):
+            raise ValueError(f"encoded brhint out of {TOTAL_BITS}-bit range")
+        pc_offset = value & ((1 << PC_BITS) - 1)
+        value >>= PC_BITS
+        bias = value & ((1 << BIAS_BITS) - 1)
+        value >>= BIAS_BITS
+        formula_bits = value & ((1 << FORMULA_BITS) - 1)
+        value >>= FORMULA_BITS
+        history_index = value
+        return cls(
+            history_index=history_index,
+            formula_bits=formula_bits,
+            bias=bias,
+            pc_offset=pc_offset,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def history_length(self) -> int:
+        """The concrete history length this hint selects."""
+        return geometric_lengths()[self.history_index]
+
+    @property
+    def bias_name(self) -> str:
+        return _BIAS_NAMES[self.bias]
+
+    def formula(self) -> Optional[FormulaTree]:
+        """Decode the formula field (None for bias-only hints)."""
+        if self.bias != BIAS_NONE:
+            return None
+        return FormulaTree.decode(self.formula_bits)
+
+    def predict(self, hashed_history: int) -> bool:
+        """Predict the branch direction from an 8-bit hashed history."""
+        if self.bias == BIAS_TAKEN:
+            return True
+        if self.bias == BIAS_NOT_TAKEN:
+            return False
+        return bool(FormulaTree.decode(self.formula_bits).evaluate(hashed_history))

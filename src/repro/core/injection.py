@@ -1,0 +1,152 @@
+"""Link-time brhint injection (paper §IV, "Hint injection").
+
+For every trained branch, Whisper inserts a brhint instruction into a
+*predecessor* basic block so the hint has executed — and its fields sit
+in the hint buffer — by the time the branch is fetched.  Predecessor
+choice follows the conditional-probability correlation algorithm the
+paper borrows from I-SPY/Ripple/Twig: pick the block whose execution most
+strongly predicts (and precedes) the branch's execution, preferring a
+few blocks of lead time for timeliness.
+
+Within a function chain the preceding blocks are guaranteed predecessors
+(probability 1), so the algorithm prefers an in-chain block ``lead``
+positions back.  For branches at a chain head the trace's block-bigram
+statistics nominate a cross-function predecessor; if no predecessor
+clears the probability threshold, or the branch lies outside the 12-bit
+PC-pointer range, the branch goes unhinted — the paper's ~80 % coverage
+argument for the 12-bit offset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..profiling.trace import Trace
+from ..workloads.program import INSTRUCTION_BYTES, Program
+from .hints import PC_BITS, BrHint
+
+
+@dataclass
+class HintPlacement:
+    """Result of injecting hints into a program."""
+
+    #: block id -> [(branch_pc, hint), ...] — the brhints in that block.
+    placements: Dict[int, List[Tuple[int, BrHint]]] = field(default_factory=dict)
+    #: branch pc -> host block id.
+    host_of_branch: Dict[int, int] = field(default_factory=dict)
+    #: branch pc -> reason it could not be hinted.
+    dropped: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def n_hints(self) -> int:
+        return len(self.host_of_branch)
+
+    def static_instructions_added(self) -> int:
+        """Each brhint is one extra static instruction."""
+        return self.n_hints
+
+    def static_overhead(self, program: Program) -> float:
+        """Static footprint increase (fraction), per Fig 19."""
+        base = program.static_instructions
+        return self.static_instructions_added() / base if base else 0.0
+
+    def dynamic_instructions_added(self, trace: Trace) -> int:
+        """Extra dynamic instructions: host-block executions x hints."""
+        if not self.placements:
+            return 0
+        counts = np.bincount(trace.block_ids, minlength=trace.program.n_blocks)
+        return int(
+            sum(len(hints) * int(counts[block]) for block, hints in self.placements.items())
+        )
+
+    def dynamic_overhead(self, trace: Trace) -> float:
+        """Dynamic instruction increase (fraction), per Fig 19."""
+        base = trace.n_instructions
+        return self.dynamic_instructions_added(trace) / base if base else 0.0
+
+
+def _block_bigram(trace: Trace) -> Dict[int, Counter]:
+    """For each block, the distribution of its immediate predecessor."""
+    preds: Dict[int, Counter] = defaultdict(Counter)
+    ids = trace.block_ids
+    for i in range(1, len(ids)):
+        preds[int(ids[i])][int(ids[i - 1])] += 1
+    return preds
+
+
+def inject_hints(
+    program: Program,
+    hints: Dict[int, BrHint | object],
+    trace: Optional[Trace] = None,
+    lead: int = 2,
+    max_back: int = 6,
+    min_probability: float = 0.5,
+) -> HintPlacement:
+    """Choose a host block for each hint and build the placement.
+
+    ``hints`` maps branch PC to either a ready :class:`BrHint` or any
+    object with a ``to_brhint(pc_offset)`` method (the trainer's output —
+    the PC-pointer field can only be resolved once the host is known).
+
+    ``lead`` is the preferred number of blocks between the brhint and its
+    branch (timeliness); ``min_probability`` is the correlation threshold
+    for cross-function predecessors of chain-head branches.
+    """
+    placement = HintPlacement()
+    bigram: Optional[Dict[int, Counter]] = None
+
+    for pc, hint_source in hints.items():
+        block = program.block_of_pc(int(pc))
+        if block is None:
+            placement.dropped[pc] = "unknown-branch"
+            continue
+
+        host: Optional[int] = None
+        chain_preds = program.predecessors_in_chain(block, max_back=max_back)
+        if chain_preds:
+            # Guaranteed predecessors: prefer `lead` blocks of slack.
+            host = chain_preds[-lead] if len(chain_preds) >= lead else chain_preds[0]
+        else:
+            # Chain head: consult the profile's block-bigram correlation.
+            if trace is None:
+                placement.dropped[pc] = "no-predecessor"
+                continue
+            if bigram is None:
+                bigram = _block_bigram(trace)
+            candidates = bigram.get(block)
+            if not candidates:
+                placement.dropped[pc] = "no-predecessor"
+                continue
+            best, count = candidates.most_common(1)[0]
+            if count / sum(candidates.values()) < min_probability:
+                placement.dropped[pc] = "weak-correlation"
+                continue
+            host = int(best)
+
+        # The 12-bit PC pointer must reach the branch from the host block.
+        offset = (int(pc) - int(program.block_addrs[host])) // INSTRUCTION_BYTES
+        if not 0 <= offset < (1 << PC_BITS):
+            placement.dropped[pc] = "offset-overflow"
+            continue
+
+        hint = (
+            hint_source
+            if isinstance(hint_source, BrHint)
+            else hint_source.to_brhint(pc_offset=int(offset))
+        )
+        if isinstance(hint_source, BrHint):
+            # Re-encode with the resolved offset for bit-exactness.
+            hint = BrHint(
+                history_index=hint.history_index,
+                formula_bits=hint.formula_bits,
+                bias=hint.bias,
+                pc_offset=int(offset),
+            )
+        placement.placements.setdefault(host, []).append((int(pc), hint))
+        placement.host_of_branch[int(pc)] = host
+
+    return placement

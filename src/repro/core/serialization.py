@@ -1,0 +1,83 @@
+"""Persistence for Whisper's link-time artifacts.
+
+The paper's usage model (Fig 10) produces an *updated binary*: the
+original program plus injected brhint instructions.  In this
+reproduction the equivalent artifact is the hint placement — which
+33-bit brhint goes into which basic block, covering which branch PC.
+This module serialises that artifact to a compact JSON document so a
+trained optimization can be stored, shipped, diffed, and re-deployed
+without re-training:
+
+    save_placement(placement, "mysql.whisper.json")
+    runtime = WhisperRuntime(load_placement("mysql.whisper.json").placements)
+
+The format is versioned and validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Tuple, Union
+
+from .hint_buffer import WhisperRuntime
+from .hints import BrHint
+from .injection import HintPlacement
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def placement_to_dict(placement: HintPlacement) -> dict:
+    """A JSON-serialisable view of a hint placement."""
+    return {
+        "format": "whisper-hints",
+        "version": FORMAT_VERSION,
+        "placements": {
+            str(block): [[pc, hint.encode()] for pc, hint in hints]
+            for block, hints in placement.placements.items()
+        },
+        "dropped": {str(pc): reason for pc, reason in placement.dropped.items()},
+    }
+
+
+def placement_from_dict(data: dict) -> HintPlacement:
+    """Inverse of :func:`placement_to_dict`, with validation."""
+    if data.get("format") != "whisper-hints":
+        raise ValueError("not a whisper-hints document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    placements: Dict[int, List[Tuple[int, BrHint]]] = {}
+    host_of_branch: Dict[int, int] = {}
+    for block_str, hints in data.get("placements", {}).items():
+        block = int(block_str)
+        decoded = []
+        for pc, encoded in hints:
+            hint = BrHint.decode(int(encoded))
+            decoded.append((int(pc), hint))
+            host_of_branch[int(pc)] = block
+        placements[block] = decoded
+    dropped = {int(pc): str(reason) for pc, reason in data.get("dropped", {}).items()}
+    return HintPlacement(
+        placements=placements, host_of_branch=host_of_branch, dropped=dropped
+    )
+
+
+def save_placement(placement: HintPlacement, path: PathLike) -> None:
+    """Write the placement as the deployable JSON artifact."""
+    pathlib.Path(path).write_text(json.dumps(placement_to_dict(placement), indent=1))
+
+
+def load_placement(path: PathLike) -> HintPlacement:
+    """Read a placement saved with :func:`save_placement`."""
+    return placement_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def load_runtime(path: PathLike, buffer_entries: int = 32) -> WhisperRuntime:
+    """One-step deployment: load a placement and build its runtime."""
+    placement = load_placement(path)
+    return WhisperRuntime(placement.placements, buffer_entries=buffer_entries)

@@ -1,0 +1,126 @@
+"""Per-branch substream extraction for Whisper training (paper §III-A).
+
+From the in-production trace, every execution of a candidate branch is
+turned into a *substream* sample: the branch's resolved direction plus
+the hashed global history at each of the sixteen candidate geometric
+lengths.  The result, per branch and per length, is the pair of hash
+tables ``T`` / ``NT`` that Algorithm 1 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.geometric import geometric_lengths
+from ..core.hashing import fold_many
+from ..profiling.trace import Trace
+
+_HISTORY_BITS = 1024
+_HISTORY_MASK = (1 << _HISTORY_BITS) - 1
+
+
+@dataclass
+class BranchTrainingData:
+    """Substream statistics for one static branch."""
+
+    pc: int
+    lengths: Sequence[int]
+    #: Per candidate length: hashed history -> sample count, split by the
+    #: branch's resolved direction (the paper's T and NT tables).
+    taken: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    nottaken: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    executions: int = 0
+    taken_total: int = 0
+
+    def __post_init__(self) -> None:
+        for length in self.lengths:
+            self.taken.setdefault(length, {})
+            self.nottaken.setdefault(length, {})
+
+    def add_sample(self, folds: Sequence[int], taken: bool) -> None:
+        self.executions += 1
+        tables = self.taken if taken else self.nottaken
+        if taken:
+            self.taken_total += 1
+        for length, fold in zip(self.lengths, folds):
+            table = tables[length]
+            table[fold] = table.get(fold, 0) + 1
+
+    def tables_for(self, length: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """The (T, NT) pair for one candidate history length."""
+        return self.taken[length], self.nottaken[length]
+
+    def merge(self, other: "BranchTrainingData") -> None:
+        """Fold another profile's samples into this one (Fig 18)."""
+        if other.pc != self.pc or tuple(other.lengths) != tuple(self.lengths):
+            raise ValueError("can only merge training data for the same branch")
+        self.executions += other.executions
+        self.taken_total += other.taken_total
+        for length in self.lengths:
+            for src, dst in (
+                (other.taken[length], self.taken[length]),
+                (other.nottaken[length], self.nottaken[length]),
+            ):
+                for key, count in src.items():
+                    dst[key] = dst.get(key, 0) + count
+
+
+def collect_training_data(
+    traces: Iterable[Trace],
+    candidate_pcs: Iterable[int],
+    lengths: Sequence[int] | None = None,
+    hash_bits: int = 8,
+    hash_op: str = "xor",
+) -> Dict[int, BranchTrainingData]:
+    """Extract T/NT tables for every candidate branch from the trace(s).
+
+    Walks each trace once, maintaining the global conditional-branch
+    history, and folds it at every candidate length for executions of
+    candidate PCs.  Multiple traces model merged multi-input profiles.
+    """
+    if lengths is None:
+        lengths = geometric_lengths()
+    candidates = set(int(pc) for pc in candidate_pcs)
+    data: Dict[int, BranchTrainingData] = {
+        pc: BranchTrainingData(pc=pc, lengths=list(lengths)) for pc in candidates
+    }
+
+    for trace in traces:
+        history = 0
+        pcs = trace.pcs
+        cond = trace.is_conditional
+        taken_arr = trace.taken
+        for i in range(trace.n_events):
+            if not cond[i]:
+                continue
+            taken = bool(taken_arr[i])
+            pc = int(pcs[i])
+            if pc in candidates:
+                folds = fold_many(history, lengths, hash_bits, hash_op)
+                data[pc].add_sample(folds, taken)
+            history = ((history << 1) | int(taken)) & _HISTORY_MASK
+    return data
+
+
+def select_candidates(
+    per_pc_stats: Dict[int, Tuple[int, int]],
+    min_mispredictions: int = 2,
+    min_executions: int = 8,
+    max_candidates: int | None = None,
+) -> List[int]:
+    """Choose the branches worth training, most-mispredicting first.
+
+    ``per_pc_stats`` maps PC -> (executions, mispredictions) as measured
+    by the profiled processor's predictor (the LBR side of the profile).
+    """
+    chosen = [
+        (mispredicts, pc)
+        for pc, (execs, mispredicts) in per_pc_stats.items()
+        if mispredicts >= min_mispredictions and execs >= min_executions
+    ]
+    chosen.sort(key=lambda item: (-item[0], item[1]))
+    pcs = [pc for _, pc in chosen]
+    if max_candidates is not None:
+        pcs = pcs[:max_candidates]
+    return pcs

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from . import (
+    ablations,
+    fig01_limit_study,
+    fig02_mpki,
+    fig03_classification,
+    fig04_prior_work,
+    fig05_cdf,
+    fig06_history_lengths,
+    fig07_op_distribution,
+    fig08_gate_delay,
+    fig10_usage_model,
+    fig11_encoding,
+    fig12_speedup,
+    fig13_reduction,
+    fig14_breakdown,
+    fig15_randomized,
+    fig16_training_time,
+    fig17_inputs,
+    fig18_merging,
+    fig19_overhead,
+    fig20_128kb,
+    fig21_predictor_size,
+    fig22_warmup,
+    fig23_trace_length,
+    tables,
+)
+from .runner import ExperimentContext, FigureResult, current_scale, global_context
+
+__all__ = [
+    "ExperimentContext",
+    "FigureResult",
+    "current_scale",
+    "global_context",
+]

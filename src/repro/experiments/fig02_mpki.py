@@ -1,0 +1,30 @@
+"""Fig 2 — branch-MPKI of the 64 KB TAGE-SC-L baseline.
+
+Paper: average 3.0, range 0.5-7.2 across the 12 applications.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.metrics import mean, value_range
+from .runner import ExperimentContext, FigureResult, global_context
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    ctx = ctx or global_context()
+    rows = []
+    mpkis = []
+    for app in ctx.datacenter_apps():
+        result = ctx.baseline(app, 64, input_id=1)
+        rows.append([app, round(result.mpki, 2), round(100 * (1 - result.accuracy), 2)])
+        mpkis.append(result.mpki)
+    rows.append(["Avg", round(mean(mpkis), 2), ""])
+    return FigureResult(
+        figure="Fig 2",
+        title="Branch-MPKI, 64KB TAGE-SC-L",
+        headers=["app", "branch-MPKI", "mispredict-rate %"],
+        rows=rows,
+        paper_note="avg 3.0 (0.5-7.2)",
+        summary=f"MPKI {value_range(mpkis)}",
+    )

@@ -1,0 +1,38 @@
+"""Fig 6 — distribution of mispredictions over required history lengths.
+
+Paper: most mispredicted branches need histories of 32-1024 outcomes,
+far beyond fixed 4/8-bit schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.history_corr import BUCKETS, misprediction_length_distribution
+from ..analysis.metrics import mean
+from .runner import ExperimentContext, FigureResult, global_context
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    ctx = ctx or global_context()
+    rows = []
+    acc = {bucket: [] for bucket in BUCKETS}
+    for app in ctx.datacenter_apps():
+        baseline = ctx.baseline(app, 64, input_id=0)
+        trained, _ = ctx.whisper(app)
+        dist = misprediction_length_distribution(baseline, trained)
+        rows.append([app] + [round(dist[bucket], 1) for bucket in BUCKETS])
+        for bucket in BUCKETS:
+            acc[bucket].append(dist[bucket])
+    rows.append(["Avg"] + [round(mean(acc[bucket]), 1) for bucket in BUCKETS])
+    long_share = sum(
+        mean(acc[bucket]) for bucket in ("17-32", "33-64", "65-128", "129-256", "257-512", "513-1024", "1024+")
+    )
+    return FigureResult(
+        figure="Fig 6",
+        title="Mispredictions by required history length (% of mispredictions)",
+        headers=["app"] + list(BUCKETS),
+        rows=rows,
+        paper_note="most mispredictions correlate with histories of 32-1024 outcomes",
+        summary=f"share needing length > 16: {long_share:.1f}%",
+    )

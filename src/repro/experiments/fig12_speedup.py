@@ -1,0 +1,72 @@
+"""Fig 12 — speedup over 64 KB TAGE-SC-L for every technique.
+
+Paper: Whisper 2.8 % average (0.4-4.6 %); ROMBF 1.7 %; BranchNet 0.8 %;
+MTAGE-SC (unlimited) 6.3 %; ideal 12.4 %.  Whisper reaches 44.1 % of
+MTAGE-SC's speedup and beats every practical prior technique.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.metrics import mean
+from ..branchnet import BUDGET_32KB, BUDGET_8KB
+from .runner import ExperimentContext, FigureResult, global_context
+
+TECHNIQUES = [
+    "4b-ROMBF",
+    "8b-ROMBF",
+    "8KB-BN",
+    "32KB-BN",
+    "Unl-BN",
+    "Whisper",
+    "MTAGE-SC",
+    "Ideal",
+]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    ctx = ctx or global_context()
+    rows = []
+    acc = {name: [] for name in TECHNIQUES}
+    for app in ctx.datacenter_apps():
+        base_pred = ctx.baseline(app, 64, input_id=1)
+        base = ctx.timing(app, base_pred, input_id=1, name="tage64")
+
+        _, placement = ctx.whisper(app)
+        runs = {
+            "4b-ROMBF": (ctx.rombf_run(app, 4), None, "rombf4"),
+            "8b-ROMBF": (ctx.rombf_run(app, 8), None, "rombf8"),
+            "8KB-BN": (ctx.branchnet_run(app, BUDGET_8KB), None, "bn8"),
+            "32KB-BN": (ctx.branchnet_run(app, BUDGET_32KB), None, "bn32"),
+            "Unl-BN": (ctx.branchnet_run(app, None), None, "bnu"),
+            "Whisper": (ctx.whisper_run(app), placement, "whisper"),
+            "MTAGE-SC": (ctx.mtage(app, input_id=1), None, "mtage"),
+            "Ideal": (None, None, "ideal"),
+        }
+        speedups = {}
+        for name, (pred, place, tag) in runs.items():
+            timing = ctx.timing(app, pred, placement=place, input_id=1, name=tag)
+            speedups[name] = timing.speedup_over(base)
+        rows.append([app] + [round(speedups[name], 2) for name in TECHNIQUES])
+        for name in TECHNIQUES:
+            acc[name].append(speedups[name])
+    rows.append(["Avg"] + [round(mean(acc[name]), 2) for name in TECHNIQUES])
+
+    whisper_avg = mean(acc["Whisper"])
+    mtage_avg = mean(acc["MTAGE-SC"])
+    ratio = 100.0 * whisper_avg / mtage_avg if mtage_avg else 0.0
+    return FigureResult(
+        figure="Fig 12",
+        title="Speedup (%) over 64KB TAGE-SC-L",
+        headers=["app"] + TECHNIQUES,
+        rows=rows,
+        paper_note=(
+            "Whisper 2.8% (0.4-4.6), ROMBF 1.7%, BranchNet 0.8%, "
+            "MTAGE-SC 6.3%, ideal 12.4%; Whisper = 44.1% of MTAGE-SC"
+        ),
+        summary=(
+            f"Whisper {whisper_avg:.1f}% vs MTAGE-SC {mtage_avg:.1f}% "
+            f"({ratio:.0f}% of MTAGE-SC), ideal {mean(acc['Ideal']):.1f}%"
+        ),
+    )

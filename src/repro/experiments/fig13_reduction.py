@@ -1,0 +1,49 @@
+"""Fig 13 — misprediction reduction over 64 KB TAGE-SC-L.
+
+Paper: Whisper 16.8 % average (1.7-32.4 %); +7.9 points over the best
+practical prior technique; +4.9 points over unlimited-BranchNet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.metrics import mean, value_range
+from ..branchnet import BUDGET_32KB, BUDGET_8KB
+from .runner import ExperimentContext, FigureResult, global_context
+
+TECHNIQUES = ["4b-ROMBF", "8b-ROMBF", "8KB-BN", "32KB-BN", "Unl-BN", "Whisper"]
+
+
+def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    ctx = ctx or global_context()
+    rows = []
+    acc = {name: [] for name in TECHNIQUES}
+    for app in ctx.datacenter_apps():
+        base = ctx.baseline(app, 64, input_id=1)
+        reductions = {
+            "4b-ROMBF": ctx.rombf_run(app, 4).misprediction_reduction(base),
+            "8b-ROMBF": ctx.rombf_run(app, 8).misprediction_reduction(base),
+            "8KB-BN": ctx.branchnet_run(app, BUDGET_8KB).misprediction_reduction(base),
+            "32KB-BN": ctx.branchnet_run(app, BUDGET_32KB).misprediction_reduction(base),
+            "Unl-BN": ctx.branchnet_run(app, None).misprediction_reduction(base),
+            "Whisper": ctx.whisper_run(app).misprediction_reduction(base),
+        }
+        rows.append([app] + [round(reductions[name], 1) for name in TECHNIQUES])
+        for name in TECHNIQUES:
+            acc[name].append(reductions[name])
+    rows.append(["Avg"] + [round(mean(acc[name]), 1) for name in TECHNIQUES])
+
+    whisper = acc["Whisper"]
+    best_prior = max(mean(acc[n]) for n in TECHNIQUES[:4])  # practical priors
+    return FigureResult(
+        figure="Fig 13",
+        title="Misprediction reduction (%) over 64KB TAGE-SC-L",
+        headers=["app"] + TECHNIQUES,
+        rows=rows,
+        paper_note="Whisper 16.8% (1.7-32.4); +7.9 over best practical prior; +4.9 over Unl-BN",
+        summary=(
+            f"Whisper {value_range(whisper)}%, best practical prior {best_prior:.1f}%, "
+            f"Unl-BN {mean(acc['Unl-BN']):.1f}%"
+        ),
+    )

@@ -1,0 +1,284 @@
+"""Shared experiment infrastructure.
+
+Every figure/table module exposes ``run(ctx) -> FigureResult``.  The
+:class:`ExperimentContext` memoises the expensive intermediates — traces,
+baseline predictor runs, profiles, trained optimizers — so the full
+benchmark suite shares work instead of re-simulating per figure.
+
+Scale control: the ``REPRO_SCALE`` environment variable selects the
+trace length per application (``small`` / ``medium`` / ``full``).  The
+paper simulates 100 M instructions per app; even ``full`` here is a few
+million block-level events, so `EXPERIMENTS.md` records which scale each
+recorded number came from.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..branchnet import BranchNetOptimizer, BranchNetResult, BranchNetRuntime
+from ..bpu import MTageScPredictor, PredictionResult, simulate
+from ..bpu.scaling import scaled_tage_sc_l
+from ..core.rombf import RombfOptimizer, RombfResult
+from ..core.whisper import WhisperConfig, WhisperOptimizer, WhisperResult
+from ..core.injection import HintPlacement
+from ..profiling.profile import BranchProfile
+from ..profiling.trace import Trace
+from ..sim import SimResult, simulate_timing
+from ..workloads.generator import generate_trace, get_program
+from ..workloads.registry import DATACENTER_APPS, SPEC_APPS, get_spec
+
+SCALE_EVENTS = {"small": 40_000, "medium": 120_000, "full": 250_000}
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in SCALE_EVENTS:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALE_EVENTS)}")
+    return scale
+
+
+def events_per_app() -> int:
+    return SCALE_EVENTS[current_scale()]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated table/figure, ready to print next to the paper's."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    paper_note: str = ""
+    summary: str = ""
+
+    def to_text(self) -> str:
+        widths = [len(str(h)) for h in self.headers]
+        str_rows = [[_fmt(cell) for cell in row] for row in self.rows]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.figure}: {self.title} =="]
+        if self.paper_note:
+            lines.append(f"paper: {self.paper_note}")
+        header = "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in str_rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if self.summary:
+            lines.append(f"measured: {self.summary}")
+        return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+class ExperimentContext:
+    """Memoised providers for everything the figure modules need."""
+
+    #: Fraction of each run treated as predictor warm-up, following the
+    #: paper's methodology of measuring steady-state behaviour.  Fig 22
+    #: sweeps this explicitly via ``PredictionResult.with_warmup``.
+    warmup = 0.3
+
+    def __init__(self, n_events: Optional[int] = None) -> None:
+        self.n_events = n_events if n_events is not None else events_per_app()
+        self._baseline: Dict[Tuple, PredictionResult] = {}
+        self._profiles: Dict[Tuple, BranchProfile] = {}
+        self._whisper: Dict[Tuple, Tuple[WhisperResult, HintPlacement]] = {}
+        self._whisper_runs: Dict[Tuple, PredictionResult] = {}
+        self._rombf: Dict[Tuple, RombfResult] = {}
+        self._branchnet: Dict[Tuple, BranchNetResult] = {}
+        self._timing: Dict[Tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    # Workload side
+    # ------------------------------------------------------------------
+    def trace(self, app: str, input_id: int = 0, n_events: Optional[int] = None) -> Trace:
+        return generate_trace(get_spec(app), input_id, n_events or self.n_events)
+
+    def program(self, app: str):
+        return get_program(get_spec(app))
+
+    @staticmethod
+    def datacenter_apps() -> Sequence[str]:
+        return DATACENTER_APPS
+
+    @staticmethod
+    def spec_apps() -> Sequence[str]:
+        return SPEC_APPS
+
+    # ------------------------------------------------------------------
+    # Baseline predictors
+    # ------------------------------------------------------------------
+    def baseline(
+        self,
+        app: str,
+        label_kb: float = 64,
+        input_id: int = 0,
+        n_events: Optional[int] = None,
+    ) -> PredictionResult:
+        key = ("base", app, label_kb, input_id, n_events or self.n_events)
+        if key not in self._baseline:
+            trace = self.trace(app, input_id, n_events)
+            self._baseline[key] = simulate(trace, scaled_tage_sc_l(label_kb))
+        return self._baseline[key].with_warmup(self.warmup)
+
+    def mtage(self, app: str, input_id: int = 0) -> PredictionResult:
+        key = ("mtage", app, input_id, self.n_events)
+        if key not in self._baseline:
+            trace = self.trace(app, input_id)
+            self._baseline[key] = simulate(trace, MTageScPredictor())
+        return self._baseline[key].with_warmup(self.warmup)
+
+    # ------------------------------------------------------------------
+    # Profiles and optimizers
+    # ------------------------------------------------------------------
+    def profile(
+        self, app: str, input_ids: Tuple[int, ...] = (0,), label_kb: float = 64
+    ) -> BranchProfile:
+        key = ("profile", app, input_ids, label_kb, self.n_events)
+        if key not in self._profiles:
+            traces = [self.trace(app, i) for i in input_ids]
+            self._profiles[key] = BranchProfile.collect(
+                traces, lambda: scaled_tage_sc_l(label_kb)
+            )
+        return self._profiles[key]
+
+    def whisper(
+        self,
+        app: str,
+        input_ids: Tuple[int, ...] = (0,),
+        label_kb: float = 64,
+        config: Optional[WhisperConfig] = None,
+        tag: str = "",
+    ) -> Tuple[WhisperResult, HintPlacement]:
+        key = ("whisper", app, input_ids, label_kb, tag, self.n_events)
+        if key not in self._whisper:
+            profile = self.profile(app, input_ids, label_kb)
+            optimizer = WhisperOptimizer(config or WhisperConfig())
+            trained = optimizer.train(profile)
+            placement = optimizer.inject(
+                self.program(app), trained, trace=profile.traces[0]
+            )
+            self._whisper[key] = (trained, placement)
+        return self._whisper[key]
+
+    def whisper_run(
+        self,
+        app: str,
+        test_input: int = 1,
+        train_inputs: Tuple[int, ...] = (0,),
+        label_kb: float = 64,
+        config: Optional[WhisperConfig] = None,
+        tag: str = "",
+    ) -> PredictionResult:
+        """Whisper-optimized run: train on ``train_inputs``, test on
+        ``test_input`` (cross-input by default, as in the paper)."""
+        key = ("wrun", app, test_input, train_inputs, label_kb, tag, self.n_events)
+        if key not in self._whisper_runs:
+            trained, placement = self.whisper(app, train_inputs, label_kb, config, tag)
+            optimizer = WhisperOptimizer(config or WhisperConfig())
+            runtime = optimizer.build_runtime(placement)
+            trace = self.trace(app, test_input)
+            self._whisper_runs[key] = simulate(
+                trace, scaled_tage_sc_l(label_kb), runtime=runtime
+            )
+        return self._whisper_runs[key].with_warmup(self.warmup)
+
+    def rombf(
+        self, app: str, n_bits: int, input_ids: Tuple[int, ...] = (0,)
+    ) -> RombfResult:
+        key = ("rombf", app, n_bits, input_ids, self.n_events)
+        if key not in self._rombf:
+            profile = self.profile(app, input_ids)
+            self._rombf[key] = RombfOptimizer(n_bits=n_bits).train(profile)
+        return self._rombf[key]
+
+    def rombf_run(
+        self, app: str, n_bits: int, test_input: int = 1,
+        train_inputs: Tuple[int, ...] = (0,),
+    ) -> PredictionResult:
+        key = ("rrun", app, n_bits, test_input, train_inputs, self.n_events)
+        if key not in self._whisper_runs:
+            trained = self.rombf(app, n_bits, train_inputs)
+            runtime = RombfOptimizer(n_bits=n_bits).build_runtime(trained)
+            trace = self.trace(app, test_input)
+            self._whisper_runs[key] = simulate(
+                trace, scaled_tage_sc_l(64), runtime=runtime
+            )
+        return self._whisper_runs[key].with_warmup(self.warmup)
+
+    def branchnet(self, app: str, input_ids: Tuple[int, ...] = (0,)) -> BranchNetResult:
+        """Unlimited-variant training; budget variants deploy subsets."""
+        key = ("bn", app, input_ids, self.n_events)
+        if key not in self._branchnet:
+            profile = self.profile(app, input_ids)
+            self._branchnet[key] = BranchNetOptimizer(budget_bytes=None).train(profile)
+        return self._branchnet[key]
+
+    def branchnet_run(
+        self, app: str, budget_bytes: Optional[int], test_input: int = 1,
+        train_inputs: Tuple[int, ...] = (0,),
+    ) -> PredictionResult:
+        key = ("bnrun", app, budget_bytes, test_input, train_inputs, self.n_events)
+        if key not in self._whisper_runs:
+            result = self.branchnet(app, train_inputs)
+            models = deploy_budget(result, budget_bytes)
+            runtime = BranchNetRuntime(models)
+            trace = self.trace(app, test_input)
+            self._whisper_runs[key] = simulate(
+                trace, scaled_tage_sc_l(64), runtime=runtime
+            )
+        return self._whisper_runs[key].with_warmup(self.warmup)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timing(
+        self,
+        app: str,
+        prediction: Optional[PredictionResult],
+        placement: Optional[HintPlacement] = None,
+        input_id: int = 1,
+        name: str = "",
+    ) -> SimResult:
+        key = ("timing", app, name, input_id, self.n_events)
+        if key not in self._timing:
+            trace = self.trace(app, input_id)
+            self._timing[key] = simulate_timing(
+                trace, prediction, placement=placement, name=name
+            )
+        return self._timing[key]
+
+
+def deploy_budget(result: BranchNetResult, budget_bytes: Optional[int]) -> Dict:
+    """Deploy the highest-value models that fit a storage budget."""
+    if budget_bytes is None:
+        return dict(result.models)
+    deployed = {}
+    used = 0
+    for pc, model in result.models.items():  # insertion order = value order
+        if used + model.storage_bytes > budget_bytes:
+            break
+        deployed[pc] = model
+        used += model.storage_bytes
+    return deployed
+
+
+_GLOBAL_CONTEXT: Optional[ExperimentContext] = None
+
+
+def global_context() -> ExperimentContext:
+    """The context shared by the benchmark suite in one process."""
+    global _GLOBAL_CONTEXT
+    if _GLOBAL_CONTEXT is None or _GLOBAL_CONTEXT.n_events != events_per_app():
+        _GLOBAL_CONTEXT = ExperimentContext()
+    return _GLOBAL_CONTEXT

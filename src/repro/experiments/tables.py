@@ -1,0 +1,71 @@
+"""Tables I-III: workloads, simulator parameters, design parameters."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Optional
+
+from ..core.whisper import WhisperConfig
+from ..sim import SimConfig
+from ..workloads.registry import WORKLOAD_OF_APP
+from ..workloads.generator import get_program
+from ..workloads.registry import get_spec
+from .runner import ExperimentContext, FigureResult, global_context
+
+
+def run_table1(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    ctx = ctx or global_context()
+    rows = []
+    for app in ctx.datacenter_apps():
+        program = get_program(get_spec(app))
+        rows.append(
+            [
+                app,
+                WORKLOAD_OF_APP[app],
+                program.n_functions,
+                program.n_conditional_branches,
+                f"{program.spec.footprint_kb // 1024}MB"
+                if program.spec.footprint_kb >= 1024
+                else f"{program.spec.footprint_kb}KB",
+            ]
+        )
+    return FigureResult(
+        figure="Table I",
+        title="Data center applications and workloads",
+        headers=["application", "workload", "functions", "static cond. branches", "footprint"],
+        rows=rows,
+        paper_note="12 applications spanning DB, compiler, runtime, JVM, PHP suites",
+    )
+
+
+def run_table2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    config = SimConfig()
+    rows = [[f.name, getattr(config, f.name)] for f in fields(config)]
+    return FigureResult(
+        figure="Table II",
+        title="Simulator parameters",
+        headers=["parameter", "value"],
+        rows=rows,
+        paper_note="3.2GHz 6-wide OOO, 24-entry FTQ, 64KB TAGE-SC-L, 8192-entry BTB, 32KB L1i",
+    )
+
+
+def run_table3(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    config = WhisperConfig()
+    rows = [
+        ["Minimum history length (a)", config.min_history],
+        ["Maximum history length (N)", config.max_history],
+        ["Different history lengths (m)", config.num_lengths],
+        ["Length of the hashed history", config.hash_bits],
+        ["Logical operations used", len(config.ops)],
+        ["Hint buffer's size", config.hint_buffer_entries],
+        ["Explored formula fraction", config.explore_fraction],
+        ["Hash fold operation", config.hash_op],
+    ]
+    return FigureResult(
+        figure="Table III",
+        title="Whisper design parameters",
+        headers=["design parameter", "value"],
+        rows=rows,
+        paper_note="a=8, N=1024, m=16, hash=8 bits, 4 ops, 32-entry hint buffer",
+    )

@@ -1,0 +1,18 @@
+"""Profiling substrate: traces (PT role) + per-branch accuracy (LBR role)."""
+
+from .lbr import LBR_DEPTH, collect_lbr_profile, sampling_overhead
+from .profile import BranchProfile
+from .pt import DecodedStream, PacketDecoder, PacketEncoder, roundtrip_outcomes
+from .trace import Trace
+
+__all__ = [
+    "Trace",
+    "BranchProfile",
+    "PacketEncoder",
+    "PacketDecoder",
+    "DecodedStream",
+    "roundtrip_outcomes",
+    "collect_lbr_profile",
+    "sampling_overhead",
+    "LBR_DEPTH",
+]

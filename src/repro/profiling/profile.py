@@ -1,0 +1,96 @@
+"""Application profiles: the PT + LBR data Whisper trains on (paper §IV).
+
+A :class:`BranchProfile` bundles what the paper's profiling step yields:
+
+* the control-flow trace(s) (Intel PT's role) — kept as
+  :class:`~repro.profiling.trace.Trace` objects, and
+* the profiled processor's per-branch prediction accuracy (Intel LBR's
+  role, via the ``br_misp_retired.conditional`` event) — obtained here by
+  replaying the trace through the baseline predictor.
+
+Profiles from several inputs can be merged (Fig 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..bpu.base import BranchPredictor
+
+
+@dataclass
+class BranchProfile:
+    """Trace(s) plus baseline per-branch accuracy for one application."""
+
+    traces: List[Trace]
+    #: PC -> (executions, mispredictions) under the profiled predictor.
+    per_pc: Dict[int, Tuple[int, int]]
+    predictor_name: str = ""
+    app: str = ""
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(m for _, m in self.per_pc.values())
+
+    @property
+    def total_executions(self) -> int:
+        return sum(n for n, _ in self.per_pc.values())
+
+    @classmethod
+    def collect(
+        cls,
+        traces: Sequence[Trace],
+        predictor_factory: Callable[[], "BranchPredictor"],
+        warmup_fraction: float = 0.0,
+    ) -> "BranchProfile":
+        """Profile one or more traces with a fresh baseline predictor each.
+
+        Each trace is replayed through its own predictor instance, the
+        way separate production hosts would be sampled.
+        """
+        from ..bpu.runner import simulate  # deferred: breaks an import cycle
+
+        traces = list(traces)
+        if not traces:
+            raise ValueError("at least one trace is required")
+        per_pc: Dict[int, Tuple[int, int]] = {}
+        name = ""
+        for trace in traces:
+            predictor = predictor_factory()
+            name = predictor.name
+            result = simulate(trace, predictor, warmup_fraction=warmup_fraction)
+            for pc, (execs, mispredicts) in result.per_pc_mispredictions().items():
+                prev = per_pc.get(pc, (0, 0))
+                per_pc[pc] = (prev[0] + execs, prev[1] + mispredicts)
+        return cls(
+            traces=traces,
+            per_pc=per_pc,
+            predictor_name=name,
+            app=traces[0].app,
+        )
+
+    @classmethod
+    def merge(cls, profiles: Sequence["BranchProfile"]) -> "BranchProfile":
+        """Union of several profiles (the paper's multi-input merging)."""
+        profiles = list(profiles)
+        if not profiles:
+            raise ValueError("nothing to merge")
+        traces: List[Trace] = []
+        per_pc: Dict[int, Tuple[int, int]] = {}
+        for profile in profiles:
+            traces.extend(profile.traces)
+            for pc, (execs, mispredicts) in profile.per_pc.items():
+                prev = per_pc.get(pc, (0, 0))
+                per_pc[pc] = (prev[0] + execs, prev[1] + mispredicts)
+        return cls(
+            traces=traces,
+            per_pc=per_pc,
+            predictor_name=profiles[0].predictor_name,
+            app=profiles[0].app,
+        )

@@ -1,0 +1,114 @@
+"""Branch-trace representation (the simulated Intel PT data contract).
+
+A :class:`Trace` is the unit of data every other subsystem consumes: the
+profiler aggregates it, Whisper/ROMBF/BranchNet train on it, the branch
+predictors replay it, and the timing simulator walks it block by block.
+
+Events are recorded at basic-block granularity: each event is one executed
+basic block, identified by ``block_ids[i]``, whose terminating branch is
+``pcs[i]`` with outcome ``taken[i]``.  Only conditional branches
+(``is_conditional[i]``) participate in prediction and MPKI accounting,
+following the CBP-5 methodology the paper adopts (§II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..workloads.program import Program
+
+
+@dataclass
+class Trace:
+    """A dynamic control-flow trace of one workload run."""
+
+    program: "Program"
+    block_ids: np.ndarray  # int32, executed basic block per event
+    taken: np.ndarray  # bool, outcome of the block's terminating branch
+    app: str = ""
+    input_id: int = 0
+
+    _pcs: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _is_conditional: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.block_ids = np.asarray(self.block_ids, dtype=np.int32)
+        self.taken = np.asarray(self.taken, dtype=bool)
+        if len(self.block_ids) != len(self.taken):
+            raise ValueError("block_ids and taken must have equal length")
+
+    # ------------------------------------------------------------------
+    # Derived views (computed lazily, cached)
+    # ------------------------------------------------------------------
+    @property
+    def pcs(self) -> np.ndarray:
+        """Branch program counter per event (int64)."""
+        if self._pcs is None:
+            self._pcs = self.program.branch_pcs[self.block_ids]
+        return self._pcs
+
+    @property
+    def is_conditional(self) -> np.ndarray:
+        """Mask of events whose terminating branch is conditional."""
+        if self._is_conditional is None:
+            self._is_conditional = self.program.is_conditional[self.block_ids]
+        return self._is_conditional
+
+    @property
+    def n_events(self) -> int:
+        return len(self.block_ids)
+
+    @property
+    def n_conditional(self) -> int:
+        return int(self.is_conditional.sum())
+
+    @property
+    def n_instructions(self) -> int:
+        """Total dynamic instructions (sum of executed block sizes)."""
+        return int(self.program.block_sizes[self.block_ids].sum())
+
+    def mpki(self, mispredictions: int) -> float:
+        """Branch mispredictions per kilo-instruction for this trace."""
+        instructions = self.n_instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * mispredictions / instructions
+
+    # ------------------------------------------------------------------
+    # Convenience iteration / slicing
+    # ------------------------------------------------------------------
+    def conditional_events(self) -> Iterator[Tuple[int, int, bool]]:
+        """Yield ``(event_index, pc, taken)`` for conditional branches."""
+        pcs = self.pcs
+        cond = self.is_conditional
+        taken = self.taken
+        for i in range(self.n_events):
+            if cond[i]:
+                yield i, int(pcs[i]), bool(taken[i])
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over events ``[start, stop)`` (shares the program)."""
+        return Trace(
+            program=self.program,
+            block_ids=self.block_ids[start:stop],
+            taken=self.taken[start:stop],
+            app=self.app,
+            input_id=self.input_id,
+        )
+
+    def per_branch_stats(self) -> Dict[int, Tuple[int, int]]:
+        """Per-conditional-PC ``(executions, taken_count)`` aggregates."""
+        cond = self.is_conditional
+        pcs = self.pcs[cond]
+        taken = self.taken[cond].astype(np.int64)
+        stats: Dict[int, Tuple[int, int]] = {}
+        unique, inverse = np.unique(pcs, return_inverse=True)
+        execs = np.bincount(inverse)
+        takens = np.bincount(inverse, weights=taken).astype(np.int64)
+        for pc, n, t in zip(unique, execs, takens):
+            stats[int(pc)] = (int(n), int(t))
+        return stats

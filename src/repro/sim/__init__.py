@@ -1,0 +1,16 @@
+"""Trace-driven timing simulation (Scarab-like, block granularity)."""
+
+from .caches import BranchTargetBuffer, SetAssociativeCache
+from .config import SimConfig
+from .frontend import FrontendResult, simulate_frontend
+from .simulator import SimResult, simulate_timing
+
+__all__ = [
+    "SimConfig",
+    "SimResult",
+    "simulate_timing",
+    "FrontendResult",
+    "simulate_frontend",
+    "SetAssociativeCache",
+    "BranchTargetBuffer",
+]

@@ -1,0 +1,71 @@
+"""Set-associative cache models for the instruction-side hierarchy."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SetAssociativeCache:
+    """A plain LRU set-associative cache keyed by line address."""
+
+    def __init__(self, size_kb: int, assoc: int, line_bytes: int = 64) -> None:
+        n_lines = (size_kb * 1024) // line_bytes
+        self.n_sets = max(1, n_lines // assoc)
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Touch a line; returns True on hit.  Misses allocate (LRU)."""
+        ways = self._sets[line_addr % self.n_sets]
+        if line_addr in ways:
+            ways.remove(line_addr)
+            ways.append(line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(line_addr)
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without updating LRU or allocating."""
+        return line_addr in self._sets[line_addr % self.n_sets]
+
+
+class BranchTargetBuffer:
+    """BTB model: taken branches must have an entry or pay a bubble."""
+
+    def __init__(self, entries: int = 8192, assoc: int = 4) -> None:
+        self.n_sets = max(1, entries // assoc)
+        self.assoc = assoc
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, pc: int) -> bool:
+        key = pc >> 2
+        ways = self._sets[key % self.n_sets]
+        if key in ways:
+            ways.remove(key)
+            ways.append(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(key)
+        return False

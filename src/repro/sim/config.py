@@ -1,0 +1,49 @@
+"""Timing-simulator configuration (paper Table II).
+
+The parameters mirror the paper's Scarab setup: a 6-wide out-of-order
+core at 3.2 GHz with a 24-entry fetch target queue driving FDIP, a
+64 KB-class TAGE-SC-L, an 8192-entry BTB, and a 32 KB L1i / 1 MB L2 /
+10 MB L3 hierarchy.  Only the frontend and the branch-resolution path
+are modelled in timing detail; the backend is width-limited retire (data
+stalls are invariant across the predictor configurations this
+reproduction compares, so they fold into the base CPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Table II parameters plus the timing model's latency constants."""
+
+    frequency_ghz: float = 3.2
+    fetch_width: int = 6
+    ftq_entries: int = 24
+    rob_entries: int = 224
+    rs_entries: int = 97
+
+    # Branch resolution.
+    mispredict_penalty: int = 16  # pipeline squash + resteer cycles
+    btb_miss_penalty: int = 2  # taken-branch fetch bubble
+
+    # Instruction-side memory hierarchy.
+    l1i_kb: int = 32
+    l1i_assoc: int = 8
+    line_bytes: int = 64
+    l2_kb: int = 1024
+    l2_assoc: int = 16
+    l2_latency: int = 12
+    l3_kb: int = 10 * 1024
+    l3_assoc: int = 20
+    l3_latency: int = 40
+    memory_latency: int = 150
+
+    # BTB.
+    btb_entries: int = 8192
+    btb_assoc: int = 4
+
+    @property
+    def l1i_sets(self) -> int:
+        return (self.l1i_kb * 1024) // (self.l1i_assoc * self.line_bytes)

@@ -1,0 +1,44 @@
+"""Synthetic data-center workload substrate."""
+
+from .behaviors import (
+    BEHAVIOR_KINDS,
+    Behavior,
+    BiasedBehavior,
+    BurstyBehavior,
+    FormulaBehavior,
+    LocalBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    SparseHistoryBehavior,
+    describe,
+)
+from .generator import clear_caches, generate_trace, get_program, merged_traces
+from .program import INSTRUCTION_BYTES, Function, Program, build_program
+from .registry import (
+    DATACENTER_APPS,
+    SPEC_APPS,
+    WORKLOAD_OF_APP,
+    datacenter_specs,
+    get_spec,
+    spec_benchmark_specs,
+)
+from .spec import AppSpec
+from .validation import (
+    RecurrenceReport,
+    WorkloadHealth,
+    check_workload,
+    context_recurrence,
+    history_entropy,
+)
+
+__all__ = [
+    "AppSpec",
+    "check_workload", "WorkloadHealth", "RecurrenceReport",
+    "context_recurrence", "history_entropy", "Program", "Function", "build_program", "INSTRUCTION_BYTES",
+    "generate_trace", "get_program", "merged_traces", "clear_caches",
+    "DATACENTER_APPS", "SPEC_APPS", "WORKLOAD_OF_APP",
+    "datacenter_specs", "spec_benchmark_specs", "get_spec",
+    "Behavior", "BiasedBehavior", "BurstyBehavior", "FormulaBehavior",
+    "LocalBehavior", "LoopBehavior", "PatternBehavior",
+    "SparseHistoryBehavior", "BEHAVIOR_KINDS", "describe",
+]

@@ -1,0 +1,231 @@
+"""Dynamic trace generation: the Markov walk over a synthetic program.
+
+The generator models a server processing a stream of requests: it draws a
+sequence of *functions* from a Zipf-skewed frequency distribution (the
+skew exponent controls whether the app looks data-center-flat or
+SPEC-concentrated), executes each function's basic-block chain in order,
+and resolves every conditional branch through its behaviour model against
+the live global history.
+
+Two mechanisms create the working-set churn that produces the paper's
+capacity-dominated mispredictions (Fig 3):
+
+* a per-input permutation of the function-id space decides *which*
+  functions are hot for that input (this is also what makes profiles
+  input-sensitive, Fig 17); and
+* the permutation is rolled by ``phase_shift`` every ``phase_events``
+  events, so the hot set slowly migrates and branch substreams see large
+  reuse distances.
+
+Traces are deterministic functions of ``(spec, input_id, n_events)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..profiling.trace import Trace
+from .behaviors import BiasedBehavior, BurstyBehavior
+from .program import Program, build_program
+from .spec import AppSpec
+
+_HISTORY_BITS = 1024
+_HISTORY_MASK = (1 << _HISTORY_BITS) - 1
+
+_program_cache: Dict[Tuple[str, int], Program] = {}
+_trace_cache: Dict[Tuple, Trace] = {}
+
+
+def get_program(spec: AppSpec) -> Program:
+    """Build (or fetch the cached) program for a spec."""
+    key = (spec.name, spec.seed)
+    if key not in _program_cache:
+        _program_cache[key] = build_program(spec)
+    return _program_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop memoised programs and traces (used by tests)."""
+    _program_cache.clear()
+    _trace_cache.clear()
+
+
+def _input_rng(spec: AppSpec, input_id: int, salt: int = 0) -> np.random.Generator:
+    return np.random.default_rng([spec.seed, 7919, input_id, salt])
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def _drifted_behaviors(program: Program, input_id: int) -> Dict[int, BiasedBehavior]:
+    """Per-input re-draws of data-dependent branch biases (Fig 17).
+
+    Only mid-range biased branches drift; always/never-taken branches are
+    structural (e.g. error checks) and stay put across inputs.  Input 0 is
+    the canonical profile-collection input and never drifts, so
+    "profile-from-the-same-input" runs are exactly reproducible.
+    """
+    spec = program.spec
+    if input_id == 0 or spec.drift <= 0.0:
+        return {}
+    rng = _input_rng(spec, input_id, salt=1)
+    overrides: Dict[int, object] = {}
+    for block, behavior in enumerate(program.behaviors):
+        if isinstance(behavior, BiasedBehavior) and 0.0 < behavior.p < 1.0:
+            if rng.random() < spec.drift:
+                overrides[block] = BiasedBehavior(p=float(rng.uniform(*spec.noisy_p)))
+        elif isinstance(behavior, BurstyBehavior):
+            if rng.random() < spec.drift:
+                rare_share = 1.0 - float(rng.uniform(*spec.easy_p))
+                mean_burst = float(rng.uniform(3.0, 12.0))
+                rate = rare_share / ((1.0 - rare_share) * mean_burst)
+                overrides[block] = BurstyBehavior(
+                    common=behavior.common, excursion_rate=rate, mean_burst=mean_burst
+                )
+    return overrides
+
+
+def generate_trace(
+    spec: AppSpec,
+    input_id: int = 0,
+    n_events: int = 200_000,
+    use_cache: bool = True,
+) -> Trace:
+    """Generate (or fetch) the dynamic trace for one (app, input) pair."""
+    key = (spec.name, spec.seed, input_id, n_events)
+    if use_cache and key in _trace_cache:
+        return _trace_cache[key]
+
+    program = get_program(spec)
+    program.reset_behaviors()
+    overrides = _drifted_behaviors(program, input_id)
+
+    behaviors = list(program.behaviors)
+    for block, replacement in overrides.items():
+        behaviors[block] = replacement
+
+    rng = _input_rng(spec, input_id, salt=2)
+    n_functions = program.n_functions
+    n_requests = max(1, len(program.requests))
+
+    # Per-input hotness of *request types*: a perturbation of the
+    # canonical ranking, not a full reshuffle — real services keep
+    # roughly the same hot requests across inputs, with a moderate number
+    # rising or falling (this is what Fig 17's input sensitivity
+    # measures).  Input 0 is the canonical ranking.
+    if input_id == 0:
+        request_rank = np.arange(n_requests)
+    else:
+        jitter = rng.normal(0.0, 0.35 * n_requests, size=n_requests)
+        request_rank = np.argsort(np.arange(n_requests) + jitter)
+    request_zipf = _zipf_weights(n_requests, spec.request_zipf)
+    func_zipf = _zipf_weights(n_functions, spec.zipf_exponent)
+
+    avg_request_blocks = max(
+        1.0,
+        float(np.mean([len(r) for r in program.requests]) if program.requests else 1.0)
+        * (program.n_blocks / n_functions),
+    )
+
+    block_ids = np.empty(n_events, dtype=np.int32)
+    taken = np.empty(n_events, dtype=bool)
+    uniforms = rng.random(n_events + 16)
+
+    functions = program.functions
+    requests = program.requests
+    is_conditional = program.is_conditional
+    filler_prob = spec.filler_prob
+    history = 0
+    event = 0
+    phase = 0
+    u_cursor = 0
+
+    hot_cut = max(1, int(0.08 * n_functions))
+    while event < n_events:
+        # Each phase keeps the hot head of the function ranking stable but
+        # re-jitters the warm/cold ranks used for filler draws, migrating
+        # the mid-frequency working set: branch substreams there see large
+        # reuse distances, which is where TAGE's capacity mispredictions
+        # come from (Fig 3).
+        perm = np.arange(n_functions)
+        if phase > 0:
+            rest = perm[hot_cut:]
+            order = np.argsort(
+                np.arange(len(rest)) + rng.normal(0.0, spec.phase_shift * len(rest), len(rest))
+            )
+            perm[hot_cut:] = rest[order]
+        filler_weights = np.empty(n_functions, dtype=np.float64)
+        filler_weights[perm] = func_zipf
+
+        # Request popularity also drifts between phases: branch substreams
+        # tied to a request recur at long reuse distances, which a small
+        # predictor evicts in between (capacity) but a large one retains.
+        if phase == 0:
+            phase_request_rank = request_rank
+        else:
+            order = np.argsort(
+                np.arange(n_requests)
+                + rng.normal(0.0, spec.phase_shift * n_requests, n_requests)
+            )
+            phase_request_rank = request_rank[order]
+        req_weights = np.empty(n_requests, dtype=np.float64)
+        req_weights[phase_request_rank] = request_zipf
+        n_draws = max(1, int(spec.phase_events / avg_request_blocks))
+        req_seq = rng.choice(n_requests, size=n_draws, p=req_weights)
+        # Pre-draw filler decisions and filler functions for the phase.
+        total_slots = int(sum(len(requests[r]) for r in req_seq)) + 1
+        filler_mask = rng.random(total_slots) < filler_prob
+        filler_funcs = rng.choice(n_functions, size=total_slots, p=filler_weights)
+        slot = 0
+        phase += 1
+
+        stop = False
+        for req_id in req_seq:
+            for skeleton_func in requests[req_id]:
+                func_id = int(filler_funcs[slot]) if filler_mask[slot] else int(skeleton_func)
+                slot += 1
+                func = functions[func_id]
+                for block in func.blocks:
+                    behavior = behaviors[block]
+                    if is_conditional[block]:
+                        if u_cursor >= len(uniforms):
+                            uniforms = rng.random(n_events + 16)
+                            u_cursor = 0
+                        outcome = behavior.outcome(history, uniforms[u_cursor])
+                        u_cursor += 1
+                        history = ((history << 1) | int(outcome)) & _HISTORY_MASK
+                    else:
+                        outcome = True  # unconditional transfer is always taken
+                    block_ids[event] = block
+                    taken[event] = outcome
+                    event += 1
+                    if event >= n_events:
+                        stop = True
+                        break
+                if stop:
+                    break
+            if stop:
+                break
+
+    trace = Trace(
+        program=program,
+        block_ids=block_ids,
+        taken=taken,
+        app=spec.name,
+        input_id=input_id,
+    )
+    if use_cache:
+        _trace_cache[key] = trace
+    return trace
+
+
+def merged_traces(
+    spec: AppSpec, input_ids, n_events_each: int = 200_000
+) -> Tuple[Trace, ...]:
+    """Traces for several inputs of the same app (profile-merging studies)."""
+    return tuple(generate_trace(spec, input_id, n_events_each) for input_id in input_ids)

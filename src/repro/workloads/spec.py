@@ -1,0 +1,126 @@
+"""Application specifications for the synthetic workload generator.
+
+An :class:`AppSpec` captures the structural knobs that make a synthetic
+application behave like one of the paper's workloads: static branch
+footprint, execution-frequency skew, phase churn (capacity pressure), and
+the behaviour mix of its conditional branches (§II characterisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Default behaviour mix modelled on the paper's data center findings:
+#: Fig 7 (op/bias distribution), Fig 3 (capacity-dominated mispredictions),
+#: Fig 6 (long-history correlation).  Fractions are over conditional blocks.
+DATACENTER_MIX: Dict[str, float] = {
+    "always": 0.38,
+    "never": 0.11,
+    "easy": 0.29,
+    "noisy": 0.02,
+    "formula": 0.16,
+    "pattern": 0.005,
+    "loop": 0.03,
+    "local": 0.005,
+}
+
+#: SPEC-like mix: fewer long-history formula branches, more loop/pattern
+#: structure, a heavier share of data-dependent (noisy) branches that
+#: concentrate in a handful of hot PCs (Fig 5a).
+SPEC_MIX: Dict[str, float] = {
+    "always": 0.35,
+    "never": 0.10,
+    "easy": 0.29,
+    "noisy": 0.03,
+    "formula": 0.17,
+    "pattern": 0.005,
+    "loop": 0.05,
+    "local": 0.005,
+}
+
+#: Weights over the 16 geometric history lengths (8..1024) for planted
+#: formula branches.  Short lengths are learnable by TAGE when its tables
+#: retain the substreams (capacity!); the long tail is what defeats online
+#: prediction entirely — the mix reproduces Fig 6's shape, where most
+#: *mispredictions* sit at lengths 32-1024.
+DEFAULT_LENGTH_WEIGHTS: Tuple[float, ...] = (
+    0.03, 0.04, 0.05, 0.08,  # 8, 11, 15, 21
+    0.10, 0.11, 0.11, 0.10,  # 29, 40, 56, 77
+    0.09, 0.08, 0.07, 0.05,  # 106, 147, 203, 281
+    0.04, 0.03, 0.01, 0.01,  # 388, 536, 741, 1024
+)
+
+#: Planted dominant-op category weights for formula branches (Fig 7 shape:
+#: AND-dominated formulas are the most common, then impl/cnimpl, then or).
+DEFAULT_OP_WEIGHTS: Dict[str, float] = {
+    "and": 0.38,
+    "or": 0.12,
+    "impl": 0.17,
+    "cnimpl": 0.18,
+    "mixed": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Structural description of one synthetic application."""
+
+    name: str
+    category: str = "datacenter"  # "datacenter" or "spec"
+    seed: int = 1
+
+    # --- static structure -------------------------------------------------
+    n_functions: int = 1200
+    min_blocks: int = 4
+    max_blocks: int = 12
+    cond_fraction: float = 0.75
+    min_block_instrs: int = 4
+    max_block_instrs: int = 14
+    footprint_kb: int = 8192
+
+    # --- dynamic structure ------------------------------------------------
+    zipf_exponent: float = 0.75
+    phase_events: int = 25000
+    phase_shift: float = 0.20
+
+    #: Request-level control flow: the app serves ``n_requests`` request
+    #: types, each a mostly-fixed skeleton of function calls.  Recurring
+    #: skeletons are what make branch history *repetitive* — the property
+    #: that lets history predictors (and Whisper's hashes) work at all.
+    n_requests: int = 42
+    request_length: Tuple[int, int] = (12, 40)
+    request_zipf: float = 0.70
+    #: Probability that a skeleton slot is replaced by a random function
+    #: draw at execution time (data-dependent detours; raises history
+    #: entropy and spreads execution over the long tail of the footprint).
+    filler_prob: float = 0.015
+
+    # --- behaviour mix ------------------------------------------------------
+    behavior_mix: Dict[str, float] = field(default_factory=lambda: dict(DATACENTER_MIX))
+    formula_length_weights: Tuple[float, ...] = DEFAULT_LENGTH_WEIGHTS
+    op_weights: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_OP_WEIGHTS))
+    formula_noise: Tuple[float, float] = (0.0, 0.05)
+    easy_p: Tuple[float, float] = (0.99, 0.9998)
+    noisy_p: Tuple[float, float] = (0.15, 0.85)
+    pattern_period: Tuple[int, int] = (3, 24)
+    loop_trip: Tuple[int, int] = (24, 96)
+    local_k: Tuple[int, int] = (4, 8)
+
+    # --- input sensitivity --------------------------------------------------
+    #: Fraction of biased/noisy branches whose bias is re-drawn per input,
+    #: modelling data-dependent behaviour that differs across workloads.
+    drift: float = 0.15
+
+    def __post_init__(self) -> None:
+        total = sum(self.behavior_mix.values())
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(f"behavior_mix must sum to 1.0, got {total}")
+        if self.category not in ("datacenter", "spec"):
+            raise ValueError(f"unknown category {self.category!r}")
+        if self.min_blocks < 2 or self.max_blocks < self.min_blocks:
+            raise ValueError("invalid block count range")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_kb * 1024

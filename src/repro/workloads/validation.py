@@ -1,0 +1,160 @@
+"""Workload self-checks: the structural metrics the calibration rests on.
+
+A synthetic workload only supports the paper's conclusions if it has the
+*structural* properties the paper characterises.  This module measures
+them directly, so calibration is an assertion rather than folklore:
+
+* :func:`history_entropy` — per-bit entropy of the conditional-branch
+  outcome stream.  Real services are low-entropy (most branches are
+  near-deterministic); high entropy destroys context recurrence and with
+  it every history-prediction effect.
+* :func:`context_recurrence` — for history-correlated (follower)
+  branches, the fraction of executions whose exact history window was
+  seen before.  This is the property that makes substreams learnable
+  (and evictable: the capacity story of Fig 3).
+* :func:`follower_depth_distribution` — planted correlation depths,
+  which should follow the Fig-6 shape.
+* :func:`misprediction_flatness` — share of baseline mispredictions in
+  the top-N branches (the Fig-5 data-center-vs-SPEC contrast).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bpu.runner import PredictionResult
+from ..profiling.trace import Trace
+from .behaviors import SparseHistoryBehavior
+
+_HISTORY_MASK = (1 << 1024) - 1
+
+
+def history_entropy(trace: Trace, window: int = 16) -> float:
+    """Empirical entropy (bits) of ``window``-bit history values.
+
+    Computed over the conditional outcome stream; bounded by ``window``.
+    Data-center-like workloads should land far below the bound.
+    """
+    if window < 1 or window > 62:
+        raise ValueError("window must be in [1, 62]")
+    cond = trace.is_conditional
+    outcomes = trace.taken[cond].astype(np.int64)
+    if len(outcomes) <= window:
+        return 0.0
+    # Rolling window values, vectorised.
+    weights = 1 << np.arange(window, dtype=np.int64)
+    values = np.convolve(outcomes, weights[::-1], mode="valid")
+    counts = np.bincount(values.astype(np.int64))
+    probs = counts[counts > 0] / len(values)
+    return float(-(probs * np.log2(probs)).sum())
+
+
+@dataclass
+class RecurrenceReport:
+    """Context-recurrence statistics for follower branches."""
+
+    n_branches: int
+    median_executions: float
+    median_distinct_contexts: float
+    median_recurring_fraction: float
+
+
+def context_recurrence(
+    trace: Trace,
+    min_depth: int = 33,
+    max_depth: int = 128,
+    min_executions: int = 20,
+) -> RecurrenceReport:
+    """Exact-window recurrence for followers in a depth band."""
+    program = trace.program
+    followers: Dict[int, int] = {}
+    for block, behavior in enumerate(program.behaviors):
+        if isinstance(behavior, SparseHistoryBehavior):
+            if min_depth <= behavior.needed_length <= max_depth:
+                followers[int(program.branch_pcs[block])] = behavior.needed_length
+
+    contexts: Dict[int, Counter] = defaultdict(Counter)
+    history = 0
+    pcs = trace.pcs
+    cond = trace.is_conditional
+    taken = trace.taken
+    for i in range(trace.n_events):
+        if not cond[i]:
+            continue
+        pc = int(pcs[i])
+        depth = followers.get(pc)
+        if depth is not None:
+            contexts[pc][history & ((1 << depth) - 1)] += 1
+        history = ((history << 1) | int(taken[i])) & _HISTORY_MASK
+
+    execs, distinct, recurring = [], [], []
+    for counter in contexts.values():
+        total = sum(counter.values())
+        if total < min_executions:
+            continue
+        execs.append(total)
+        distinct.append(len(counter))
+        recurring.append(sum(c for c in counter.values() if c > 1) / total)
+
+    if not execs:
+        return RecurrenceReport(0, 0.0, 0.0, 0.0)
+    return RecurrenceReport(
+        n_branches=len(execs),
+        median_executions=float(np.median(execs)),
+        median_distinct_contexts=float(np.median(distinct)),
+        median_recurring_fraction=float(np.median(recurring)),
+    )
+
+
+def follower_depth_distribution(trace: Trace) -> Dict[str, float]:
+    """Share (%) of follower branches per Fig-6 depth bucket."""
+    from ..analysis.history_corr import bucket_of_length, BUCKETS
+
+    counts = {bucket: 0 for bucket in BUCKETS}
+    for behavior in trace.program.behaviors:
+        if isinstance(behavior, SparseHistoryBehavior):
+            counts[bucket_of_length(behavior.needed_length)] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {bucket: 0.0 for bucket in BUCKETS}
+    return {bucket: 100.0 * c / total for bucket, c in counts.items()}
+
+
+def misprediction_flatness(result: PredictionResult, top_n: int = 50) -> float:
+    """Share (%) of mispredictions in the top-N branches (Fig 5 metric)."""
+    from ..analysis.cdf import top_n_share
+
+    return top_n_share(result, top_n)
+
+
+@dataclass
+class WorkloadHealth:
+    """Aggregate verdict used by tests and the calibration bench."""
+
+    entropy_bits: float
+    entropy_bound: int
+    recurrence: RecurrenceReport
+    top50_share: Optional[float] = None
+
+    @property
+    def entropy_utilisation(self) -> float:
+        return self.entropy_bits / self.entropy_bound if self.entropy_bound else 0.0
+
+
+def check_workload(
+    trace: Trace,
+    result: Optional[PredictionResult] = None,
+    window: int = 16,
+) -> WorkloadHealth:
+    """One-call structural health check for a generated trace."""
+    return WorkloadHealth(
+        entropy_bits=history_entropy(trace, window),
+        entropy_bound=window,
+        recurrence=context_recurrence(trace),
+        top50_share=misprediction_flatness(result) if result is not None else None,
+    )

@@ -1,0 +1,69 @@
+"""Shared fixtures: a tiny but fully-featured synthetic application.
+
+Session-scoped so the expensive artifacts (program, traces, baseline
+profile, trained Whisper) are built once for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.core.whisper import WhisperOptimizer
+from repro.profiling.profile import BranchProfile
+from repro.workloads.generator import generate_trace, get_program
+from repro.workloads.spec import AppSpec
+
+TINY_EVENTS = 14_000
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> AppSpec:
+    return AppSpec(
+        name="tinyapp",
+        category="datacenter",
+        seed=4242,
+        n_functions=140,
+        n_requests=20,
+        footprint_kb=256,
+        zipf_exponent=1.1,
+        phase_events=5000,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_program(tiny_spec):
+    return get_program(tiny_spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_spec):
+    return generate_trace(tiny_spec, input_id=0, n_events=TINY_EVENTS)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_alt(tiny_spec):
+    return generate_trace(tiny_spec, input_id=1, n_events=TINY_EVENTS)
+
+
+@pytest.fixture(scope="session")
+def tiny_baseline(tiny_trace):
+    from repro.bpu.runner import simulate
+
+    return simulate(tiny_trace, scaled_tage_sc_l(64))
+
+
+@pytest.fixture(scope="session")
+def tiny_profile(tiny_trace) -> BranchProfile:
+    return BranchProfile.collect([tiny_trace], lambda: scaled_tage_sc_l(64))
+
+
+@pytest.fixture(scope="session")
+def tiny_whisper(tiny_profile, tiny_program):
+    optimizer = WhisperOptimizer()
+    trained = optimizer.train(tiny_profile)
+    placement = optimizer.inject(
+        tiny_program, trained, trace=tiny_profile.traces[0]
+    )
+    runtime = optimizer.build_runtime(placement)
+    return optimizer, trained, placement, runtime

@@ -1,0 +1,171 @@
+"""Analysis: reuse distances, classification, CDFs, distributions, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import branches_to_cover, misprediction_cdf, top_n_share
+from repro.analysis.classification import CLASSES, classify_mispredictions
+from repro.analysis.history_corr import (
+    BUCKETS,
+    bucket_of_length,
+    misprediction_length_distribution,
+)
+from repro.analysis.metrics import (
+    geomean_speedup,
+    mean,
+    misprediction_reduction,
+    speedup_percent,
+    value_range,
+)
+from repro.analysis.op_distribution import CATEGORIES, execution_op_distribution
+from repro.analysis.reuse import FenwickTree, ReuseDistanceTracker
+from repro.bpu.scaling import scaled_tage_sc_l
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        tree = FenwickTree(10)
+        tree.add(3, 5)
+        tree.add(7, 2)
+        assert tree.prefix_sum(2) == 0
+        assert tree.prefix_sum(3) == 5
+        assert tree.prefix_sum(9) == 7
+        assert tree.range_sum(4, 9) == 2
+        assert tree.range_sum(8, 5) == 0
+
+
+class TestReuseDistance:
+    def test_first_access_is_none(self):
+        tracker = ReuseDistanceTracker(10)
+        assert tracker.access("a") is None
+
+    def test_simple_sequence(self):
+        tracker = ReuseDistanceTracker(10)
+        for key in ("a", "b", "c", "a"):
+            distance = tracker.access(key)
+        assert distance == 2  # b and c touched since last 'a'
+
+    def test_immediate_reuse_is_zero(self):
+        tracker = ReuseDistanceTracker(10)
+        tracker.access("a")
+        assert tracker.access("a") == 0
+
+    def test_duplicates_counted_once(self):
+        tracker = ReuseDistanceTracker(10)
+        for key in ("a", "b", "b", "b", "a"):
+            distance = tracker.access(key)
+        assert distance == 1  # only 'b' is distinct in between
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_matches_naive_reference(self, keys):
+        tracker = ReuseDistanceTracker(len(keys))
+        last_seen = {}
+        for t, key in enumerate(keys):
+            fast = tracker.access(key)
+            if key in last_seen:
+                naive = len(set(keys[last_seen[key] + 1 : t]))
+                assert fast == naive
+            else:
+                assert fast is None
+            last_seen[key] = t
+
+
+class TestClassification:
+    def test_all_mispredictions_classified(self, tiny_trace, tiny_baseline):
+        result = classify_mispredictions(tiny_trace, tiny_baseline, predictor_entries=512)
+        assert result.total == tiny_baseline.with_warmup(0.0).mispredictions
+        assert set(result.counts) == set(CLASSES)
+
+    def test_shares_sum_to_100(self, tiny_trace, tiny_baseline):
+        result = classify_mispredictions(tiny_trace, tiny_baseline, predictor_entries=512)
+        assert sum(result.shares().values()) == pytest.approx(100.0)
+
+    def test_capacity_grows_as_predictor_shrinks(self, tiny_trace, tiny_baseline):
+        small = classify_mispredictions(tiny_trace, tiny_baseline, predictor_entries=32)
+        large = classify_mispredictions(
+            tiny_trace, tiny_baseline, predictor_entries=10**9
+        )
+        # A bigger predictor converts capacity misses into conflict misses
+        # (never the other way around).
+        assert small.counts["capacity"] >= large.counts["capacity"]
+        assert small.counts["conflict"] <= large.counts["conflict"]
+
+    def test_warmup_classifies_fewer(self, tiny_trace, tiny_baseline):
+        full = classify_mispredictions(tiny_trace, tiny_baseline, predictor_entries=512)
+        warm = classify_mispredictions(
+            tiny_trace, tiny_baseline, predictor_entries=512, warmup_fraction=0.5
+        )
+        assert warm.total < full.total
+        # Warm-up removes cold-start mispredictions disproportionately.
+        if warm.total:
+            assert (
+                warm.shares()["compulsory"] <= full.shares()["compulsory"] + 1e-9
+            )
+
+
+class TestCdf:
+    def test_monotone_in_n(self, tiny_baseline):
+        cdf = misprediction_cdf(tiny_baseline)
+        values = [cdf[n] for n in sorted(cdf)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] <= 100.0 + 1e-9
+
+    def test_top_n_share_bounds(self, tiny_baseline):
+        share = top_n_share(tiny_baseline, 50)
+        assert 0 < share <= 100.0
+
+    def test_branches_to_cover(self, tiny_baseline):
+        n50 = branches_to_cover(tiny_baseline, 50.0)
+        n90 = branches_to_cover(tiny_baseline, 90.0)
+        assert 1 <= n50 <= n90
+
+
+class TestHistoryCorr:
+    def test_bucket_boundaries(self):
+        assert bucket_of_length(8) == "1-8"
+        assert bucket_of_length(9) == "9-16"
+        assert bucket_of_length(1024) == "513-1024"
+        assert bucket_of_length(2000) == "1024+"
+
+    def test_distribution_sums_to_100(self, tiny_baseline, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        dist = misprediction_length_distribution(tiny_baseline, trained)
+        assert set(dist) == set(BUCKETS)
+        assert sum(dist.values()) == pytest.approx(100.0)
+
+
+class TestOpDistribution:
+    def test_shares_sum_to_100(self, tiny_profile, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        dist = execution_op_distribution(tiny_profile, trained)
+        assert set(dist) == set(CATEGORIES)
+        assert sum(dist.values()) == pytest.approx(100.0)
+
+    def test_biased_branches_dominate(self, tiny_profile, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        dist = execution_op_distribution(tiny_profile, trained)
+        assert dist["always-taken"] + dist["never-taken"] > 20.0
+
+
+class TestMetrics:
+    def test_misprediction_reduction(self):
+        assert misprediction_reduction(100, 80) == pytest.approx(20.0)
+        assert misprediction_reduction(0, 10) == 0.0
+
+    def test_speedup(self):
+        assert speedup_percent(1.0, 1.1) == pytest.approx(10.0)
+        assert speedup_percent(0.0, 1.0) == 0.0
+
+    def test_geomean(self):
+        assert geomean_speedup([10.0, 10.0]) == pytest.approx(10.0)
+        assert geomean_speedup([]) == 0.0
+
+    def test_value_range_format(self):
+        assert value_range([1.0, 3.0]) == "2.0 (1.0-3.0)"
+        assert value_range([]) == "n/a"
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0

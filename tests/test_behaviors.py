@@ -1,0 +1,177 @@
+"""Branch behaviour models."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import AND, OR, FormulaTree
+from repro.workloads.behaviors import (
+    BiasedBehavior,
+    BurstyBehavior,
+    FormulaBehavior,
+    LocalBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    SparseHistoryBehavior,
+    describe,
+)
+
+
+class TestBiased:
+    def test_always_and_never(self):
+        always = BiasedBehavior(p=1.0)
+        never = BiasedBehavior(p=0.0)
+        for u in (0.0, 0.5, 0.999):
+            assert always.outcome(0, u) is True or always.outcome(0, u) == True  # noqa: E712
+            assert not never.outcome(0, u)
+        assert always.is_always_taken and never.is_never_taken
+
+    def test_probability_semantics(self):
+        behavior = BiasedBehavior(p=0.3)
+        assert behavior.outcome(0, 0.29)
+        assert not behavior.outcome(0, 0.31)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(p=1.5)
+
+
+class TestBursty:
+    def test_common_direction_without_excursions(self):
+        behavior = BurstyBehavior(common=True, excursion_rate=0.01, mean_burst=4)
+        outcomes = [behavior.outcome(0, 0.99) for _ in range(50)]
+        assert all(outcomes)
+
+    def test_excursion_is_a_run(self):
+        behavior = BurstyBehavior(common=True, excursion_rate=0.01, mean_burst=8)
+        # u < rate triggers an excursion whose length comes from u/rate.
+        first = behavior.outcome(0, 0.005)
+        assert first is False
+        # Remaining excursion executions flip regardless of u.
+        following = [behavior.outcome(0, 0.99) for _ in range(3)]
+        assert not any(following) or behavior._remaining == 0 or True
+        assert False in [first] + following
+
+    def test_long_run_bias_close_to_configured(self):
+        rare = 0.03
+        mean_burst = 6.0
+        rate = rare / ((1 - rare) * mean_burst)
+        behavior = BurstyBehavior(common=True, excursion_rate=rate, mean_burst=mean_burst)
+        rng = np.random.default_rng(0)
+        outcomes = [behavior.outcome(0, float(u)) for u in rng.random(200_000)]
+        observed_rare = 1.0 - float(np.mean(outcomes))
+        assert abs(observed_rare - rare) < 0.01
+
+    def test_reset_clears_excursion(self):
+        behavior = BurstyBehavior(common=True, excursion_rate=0.5, mean_burst=16)
+        behavior.outcome(0, 0.001)
+        behavior.reset()
+        assert behavior.outcome(0, 0.9) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyBehavior(common=True, excursion_rate=1.0)
+        with pytest.raises(ValueError):
+            BurstyBehavior(common=True, excursion_rate=0.1, mean_burst=0.5)
+
+
+class TestFormulaBehavior:
+    def test_outcome_follows_planted_formula(self):
+        tree = FormulaTree(ops=(OR,) * 7, n_inputs=8)
+        behavior = FormulaBehavior(length=8, formula=tree, noise=0.0)
+        assert behavior.outcome(0b0, 0.9) is False
+        assert behavior.outcome(0b1, 0.9) is True
+
+    def test_noise_flips(self):
+        tree = FormulaTree(ops=(OR,) * 7, n_inputs=8)
+        behavior = FormulaBehavior(length=8, formula=tree, noise=0.1)
+        assert behavior.outcome(0b1, 0.05) is False  # u < noise flips
+
+    def test_long_history_hashes(self):
+        tree = FormulaTree(ops=(AND,) * 7, invert=True, n_inputs=8)
+        behavior = FormulaBehavior(length=64, formula=tree)
+        assert isinstance(behavior.outcome(1 << 60, 0.9), bool)
+
+    def test_validation(self):
+        tree = FormulaTree(ops=(AND,) * 7, n_inputs=8)
+        with pytest.raises(ValueError):
+            FormulaBehavior(length=0, formula=tree)
+        with pytest.raises(ValueError):
+            FormulaBehavior(length=8, formula=tree, noise=0.7)
+
+
+class TestSparse:
+    def test_depends_only_on_listed_positions(self):
+        behavior = SparseHistoryBehavior(positions=(3, 17), table=0b0110)
+        base = 1 << 3
+        # Flipping unrelated bits never changes the outcome.
+        for noise_bit in (0, 1, 2, 5, 9, 30):
+            assert behavior.outcome(base, 0.9) == behavior.outcome(
+                base | (1 << noise_bit) if noise_bit not in (3, 17) else base, 0.9
+            )
+
+    def test_truth_table_semantics(self):
+        # table bit k: outcome for key k where key bit i = history bit
+        # at positions[i].
+        behavior = SparseHistoryBehavior(positions=(0, 2), table=0b1000)
+        assert behavior.outcome(0b101, 0.9) is True  # both bits set -> key 3
+        assert behavior.outcome(0b001, 0.9) is False  # key 1
+        assert behavior.outcome(0b100, 0.9) is False  # key 2
+
+    def test_needed_length(self):
+        behavior = SparseHistoryBehavior(positions=(3, 41), table=0b0110)
+        assert behavior.needed_length == 42
+
+    def test_noise(self):
+        behavior = SparseHistoryBehavior(positions=(0,), table=0b10, noise=0.2)
+        assert behavior.outcome(1, 0.1) is False  # flipped by noise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseHistoryBehavior(positions=(), table=0)
+        with pytest.raises(ValueError):
+            SparseHistoryBehavior(positions=(0,), table=0, noise=0.6)
+
+
+class TestPatternLoopLocal:
+    def test_pattern_repeats(self):
+        behavior = PatternBehavior(pattern=0b101, period=3)
+        outcomes = [behavior.outcome(0, 0.5) for _ in range(6)]
+        assert outcomes == [True, False, True, True, False, True]
+
+    def test_pattern_reset(self):
+        behavior = PatternBehavior(pattern=0b01, period=2)
+        behavior.outcome(0, 0.5)
+        behavior.reset()
+        assert behavior.outcome(0, 0.5) is True
+
+    def test_loop_trip_count(self):
+        behavior = LoopBehavior(trip=4)
+        outcomes = [behavior.outcome(0, 0.5) for _ in range(8)]
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_loop_validation(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(trip=1)
+
+    def test_local_follows_own_history(self):
+        # k=1, table: after a taken, go not-taken; after not-taken, taken.
+        behavior = LocalBehavior(k=1, table=0b01, noise=0.0)
+        outcomes = [behavior.outcome(0, 0.5) for _ in range(6)]
+        assert outcomes == [True, False, True, False, True, False]
+
+    def test_local_validation(self):
+        with pytest.raises(ValueError):
+            LocalBehavior(k=0, table=0)
+
+
+class TestDescribe:
+    def test_descriptions_are_informative(self):
+        assert describe(None) == "unconditional"
+        assert describe(BiasedBehavior(p=1.0)) == "always-taken"
+        assert describe(BiasedBehavior(p=0.0)) == "never-taken"
+        assert "biased" in describe(BiasedBehavior(p=0.5))
+        assert "bursty" in describe(BurstyBehavior(common=True, excursion_rate=0.01))
+        assert "sparse" in describe(SparseHistoryBehavior(positions=(9,), table=1))
+        assert "loop" in describe(LoopBehavior(trip=4))
+        assert "pattern" in describe(PatternBehavior(pattern=1, period=2))
+        assert "local" in describe(LocalBehavior(k=2, table=3))

@@ -1,0 +1,143 @@
+"""Simple predictors and the folded-history register."""
+
+import numpy as np
+import pytest
+
+from repro.bpu.base import FoldedHistory
+from repro.bpu.simple import (
+    BimodalPredictor,
+    GSharePredictor,
+    IdealPredictor,
+    StaticTakenPredictor,
+)
+
+
+def drive(predictor, stream):
+    wrong = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) != taken:
+            wrong += 1
+        predictor.update(pc, taken)
+    return 1.0 - wrong / len(stream)
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        stream = [(0x100, True)] * 1000
+        assert drive(BimodalPredictor(), stream) > 0.99
+
+    def test_learns_never_taken(self):
+        stream = [(0x100, False)] * 1000
+        assert drive(BimodalPredictor(), stream) > 0.99
+
+    def test_hysteresis_tolerates_single_flip(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(0x100, True)
+        predictor.update(0x100, False)  # one excursion
+        assert predictor.predict(0x100) is True
+
+    def test_separate_counters_per_pc(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(0x100, True)
+            predictor.update(0x200, False)
+        assert predictor.predict(0x100) is True
+        assert predictor.predict(0x200) is False
+
+    def test_reset(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(0x100, False)
+        predictor.reset()
+        assert predictor.predict(0x100) is True  # power-on weakly taken
+
+    def test_storage(self):
+        assert BimodalPredictor(log_entries=14).storage_bits == 2 * (1 << 14)
+
+
+class TestGShare:
+    def test_learns_history_pattern_bimodal_cannot(self):
+        # Strict alternation: global history determines the outcome.
+        stream = [(0x100, bool(i % 2)) for i in range(4000)]
+        assert drive(GSharePredictor(), stream) > 0.95
+        assert drive(BimodalPredictor(), stream) < 0.6
+
+    def test_rejects_history_longer_than_index(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(log_entries=10, history_length=12)
+
+    def test_reset_clears_history(self):
+        predictor = GSharePredictor()
+        for i in range(100):
+            predictor.update(0x100, bool(i % 2))
+        predictor.reset()
+        assert predictor._ghr == 0
+
+
+class TestIdealAndStatic:
+    def test_static_taken(self):
+        predictor = StaticTakenPredictor(True)
+        assert predictor.predict(0x1) is True
+        predictor.update(0x1, False)
+        assert predictor.predict(0x1) is True
+
+    def test_ideal_flag(self):
+        assert getattr(IdealPredictor(), "is_ideal", False) is True
+
+
+class TestFoldedHistory:
+    def test_position_independent(self):
+        rng = np.random.default_rng(1)
+        suffix = [1, 0, 1, 1, 0, 1, 0, 0]
+
+        def run(prefix):
+            fold = FoldedHistory(8, 5)
+            hist = []
+            for bit in prefix + suffix:
+                old = hist[-8] if len(hist) >= 8 else 0
+                fold.update(bit, old)
+                hist.append(bit)
+            return fold.comp
+
+        a = run([int(x) for x in rng.integers(0, 2, 37)])
+        b = run([int(x) for x in rng.integers(0, 2, 64)])
+        assert a == b
+
+    def test_different_windows_differ_somewhere(self):
+        fold1 = FoldedHistory(8, 5)
+        fold2 = FoldedHistory(8, 5)
+        hist1, hist2 = [], []
+        diffs = 0
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            b1, b2 = int(rng.integers(0, 2)), int(rng.integers(0, 2))
+            fold1.update(b1, hist1[-8] if len(hist1) >= 8 else 0)
+            fold2.update(b2, hist2[-8] if len(hist2) >= 8 else 0)
+            hist1.append(b1)
+            hist2.append(b2)
+            if hist1[-8:] != hist2[-8:]:
+                diffs += fold1.comp != fold2.comp
+        assert diffs > 50  # folds separate most distinct windows
+
+    def test_stays_within_width(self):
+        fold = FoldedHistory(100, 7)
+        rng = np.random.default_rng(3)
+        hist = []
+        for _ in range(500):
+            bit = int(rng.integers(0, 2))
+            fold.update(bit, hist[-100] if len(hist) >= 100 else 0)
+            hist.append(bit)
+            assert 0 <= fold.comp < (1 << 7)
+
+    def test_reset(self):
+        fold = FoldedHistory(8, 5)
+        fold.update(1, 0)
+        fold.reset()
+        assert fold.comp == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 5)
+        with pytest.raises(ValueError):
+            FoldedHistory(8, 0)

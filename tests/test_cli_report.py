@@ -1,0 +1,81 @@
+"""CLI and EXPERIMENTS.md report generation."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (
+    ORDER,
+    PAPER_REFERENCE,
+    build_experiments_md,
+    load_results,
+    summary_table,
+)
+from repro.cli import build_parser, main
+
+
+class TestReport:
+    def test_every_ordered_slug_has_a_reference(self):
+        for slug in ORDER:
+            assert slug in PAPER_REFERENCE
+
+    def test_build_from_empty_dir(self, tmp_path):
+        text = build_experiments_md(tmp_path)
+        assert "No benchmark results found" in text
+
+    def test_build_with_results(self, tmp_path):
+        (tmp_path / "fig02_mpki.txt").write_text(
+            "== Fig 2: demo ==\nrows\nmeasured: MPKI 3.1 (0.5-7.0)\n"
+        )
+        (tmp_path / "table1.txt").write_text("== Table I ==\nrows\n")
+        out = tmp_path / "EXPERIMENTS.md"
+        text = build_experiments_md(tmp_path, out)
+        assert out.exists()
+        assert "MPKI 3.1" in text
+        assert "### table1" in text
+        # Presentation order: tables before figures.
+        assert text.index("### table1") < text.index("### fig02_mpki")
+
+    def test_summary_table_extracts_measured_lines(self, tmp_path):
+        (tmp_path / "fig02_mpki.txt").write_text("x\nmeasured: hello world\n")
+        entries = load_results(tmp_path)
+        table = summary_table(entries)
+        assert "hello world" in table
+
+    def test_ignores_unknown_files(self, tmp_path):
+        (tmp_path / "garbage.txt").write_text("nope")
+        assert load_results(tmp_path) == []
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["apps"])
+        assert args.command == "apps"
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Whisper design parameters" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "kafka", "--events", "12000"]) == 0
+        out = capsys.readouterr().out
+        assert "history entropy" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.txt").write_text("== Table I ==\n")
+        output = tmp_path / "EXP.md"
+        assert main(["report", "--results", str(results), "--output", str(output)]) == 0
+        assert output.exists()
+
+    def test_optimize_command(self, capsys):
+        assert main(["optimize", "kafka", "--events", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out

@@ -1,0 +1,119 @@
+"""Experiment harness smoke tests at miniature scale.
+
+These verify structure, invariants, and rendering of every figure module
+— not the headline magnitudes, which need larger traces (exercised by
+the benchmark suite and recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig02_mpki,
+    fig05_cdf,
+    fig08_gate_delay,
+    fig11_encoding,
+    fig19_overhead,
+    fig22_warmup,
+    tables,
+)
+from repro.experiments.runner import (
+    SCALE_EVENTS,
+    ExperimentContext,
+    FigureResult,
+    current_scale,
+    deploy_budget,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_ctx():
+    # Very small: these tests check plumbing, not magnitudes.
+    return ExperimentContext(n_events=12_000)
+
+
+class TestInfrastructure:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert current_scale() == "medium"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_scales_are_ordered(self):
+        assert SCALE_EVENTS["small"] < SCALE_EVENTS["medium"] < SCALE_EVENTS["full"]
+
+    def test_context_memoises(self, mini_ctx):
+        a = mini_ctx.baseline("kafka", 64, input_id=1)
+        b = mini_ctx.baseline("kafka", 64, input_id=1)
+        assert a.mispredictions == b.mispredictions
+
+    def test_figure_result_rendering(self):
+        figure = FigureResult(
+            figure="Fig X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[["x", 1.234567], ["y", 2]],
+            paper_note="note",
+            summary="sum",
+        )
+        text = figure.to_text()
+        assert "Fig X" in text and "paper: note" in text and "measured: sum" in text
+        assert "1.235" in text
+
+    def test_deploy_budget_prefix_property(self):
+        class FakeModel:
+            storage_bytes = 1000
+
+        from repro.branchnet.trainer import BranchNetResult
+
+        result = BranchNetResult(models={1: FakeModel(), 2: FakeModel(), 3: FakeModel()})
+        assert len(deploy_budget(result, 2500)) == 2
+        assert len(deploy_budget(result, None)) == 3
+        assert list(deploy_budget(result, 2500)) == [1, 2]
+
+
+class TestLightFigures:
+    def test_fig08(self, mini_ctx):
+        result = fig08_gate_delay.run(mini_ctx)
+        rows = {row[0]: row for row in result.rows}
+        assert rows[8][2] == 19  # the paper's 19-gate delay
+        assert rows[8][3] == 15  # 15-bit encoding
+
+    def test_fig11(self, mini_ctx):
+        result = fig11_encoding.run(mini_ctx)
+        total = [row for row in result.rows if row[0] == "Total"][0]
+        assert total[1] == 33
+
+    def test_tables(self, mini_ctx):
+        t1 = tables.run_table1(mini_ctx)
+        assert len(t1.rows) == 12
+        t2 = tables.run_table2(mini_ctx)
+        assert any(row[0] == "fetch_width" and row[1] == 6 for row in t2.rows)
+        t3 = tables.run_table3(mini_ctx)
+        values = dict((row[0], row[1]) for row in t3.rows)
+        assert values["Maximum history length (N)"] == 1024
+
+
+class TestWorkloadFigures:
+    def test_fig02_structure(self, mini_ctx):
+        result = fig02_mpki.run(mini_ctx)
+        assert len(result.rows) == 13  # 12 apps + average
+        mpkis = [row[1] for row in result.rows[:-1]]
+        assert all(m > 0 for m in mpkis)
+
+    def test_fig05_spec_more_concentrated(self, mini_ctx):
+        result = fig05_cdf.run(mini_ctx)
+        dc = [row for row in result.rows if row[0] == "datacenter"]
+        spec = [row for row in result.rows if row[0] == "spec" and row[1] != "gcc"]
+        dc_top50 = sum(row[3] for row in dc) / len(dc)
+        spec_top50 = sum(row[3] for row in spec) / len(spec)
+        assert spec_top50 > dc_top50
+
+    def test_fig19_overheads_positive(self, mini_ctx):
+        result = fig19_overhead.run(mini_ctx)
+        avg = result.rows[-1]
+        assert avg[3] > 0 and avg[4] > 0
+
+    def test_fig22_monotone_structure(self, mini_ctx):
+        result = fig22_warmup.run(mini_ctx)
+        assert len(result.rows) == 10

@@ -1,0 +1,96 @@
+"""Formula-space analytics and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, sparkline
+from repro.core.formula_analysis import (
+    distinct_functions,
+    encoding_redundancy,
+    expressiveness_gain,
+    function_coverage,
+)
+from repro.core.formulas import ROMBF_OPS, WHISPER_OPS, formula_space_size
+
+
+class TestDistinctFunctions:
+    def test_rombf_2_inputs(self):
+        # AND and OR of (b0, b1): exactly 2 functions.
+        assert distinct_functions(2, ROMBF_OPS, with_invert=False) == 2
+
+    def test_whisper_2_inputs(self):
+        # and/or/impl/cnimpl are 4 distinct functions; invert doubles them.
+        assert distinct_functions(2, WHISPER_OPS, with_invert=False) == 4
+        assert distinct_functions(2, WHISPER_OPS, with_invert=True) == 8
+
+    def test_encoding_is_injective_at_8_inputs(self):
+        # Fixed tree shape means no re-association redundancy; measured:
+        # every one of the 32768 encodings is a distinct function, so
+        # every bit of the 15-bit formula field pulls its weight.
+        reachable = distinct_functions(8, WHISPER_OPS, with_invert=True)
+        assert reachable == formula_space_size(8)
+        assert encoding_redundancy(8, WHISPER_OPS) == pytest.approx(1.0)
+
+    def test_extension_strictly_adds_expressiveness(self):
+        gains = expressiveness_gain(8)
+        assert gains["whisper (4 ops)"] > gains["rombf (and/or)"]
+        assert gains["whisper + invert"] > gains["whisper (4 ops)"]
+        assert gains["rombf + invert"] >= 2 * gains["rombf (and/or)"] - 1
+
+    def test_redundancy_at_least_one(self):
+        assert encoding_redundancy(4, WHISPER_OPS) >= 1.0
+
+
+class TestCoverage:
+    def test_full_fraction_covers_everything(self):
+        assert function_coverage(1.0, 4, WHISPER_OPS) == pytest.approx(1.0)
+
+    def test_injective_encoding_coverage_equals_fraction(self):
+        # With an injective encoding, coverage tracks the fraction: the
+        # Fig-15 quality comes from near-optimal formulas being dense,
+        # not from encoding redundancy.
+        coverage = function_coverage(0.01, 8, WHISPER_OPS)
+        assert coverage == pytest.approx(0.01, abs=0.002)
+
+    def test_monotone_in_fraction(self):
+        small = function_coverage(0.01, 8, WHISPER_OPS)
+        large = function_coverage(0.1, 8, WHISPER_OPS)
+        assert large >= small
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            function_coverage(0.0)
+
+
+class TestAsciiChart:
+    def test_bar_chart_renders_all_labels(self):
+        text = bar_chart({"whisper": 16.8, "rombf": 8.9})
+        assert "whisper" in text and "rombf" in text
+        assert "16.80" in text
+
+    def test_longest_bar_is_max_value(self):
+        text = bar_chart({"a": 10, "b": 5}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_negative_values_render_dashes(self):
+        text = bar_chart({"bad": -5.0, "good": 5.0})
+        assert "-" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1}, width=2)
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_constant(self):
+        assert sparkline([3, 3, 3]) == "   "
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,47 @@
+"""Cycle-stepped frontend model, cross-validated against the analytic one."""
+
+import pytest
+
+from repro.sim import simulate_timing
+from repro.sim.frontend import simulate_frontend
+
+
+class TestFrontendModel:
+    def test_basic_accounting(self, tiny_trace, tiny_baseline):
+        result = simulate_frontend(tiny_trace, tiny_baseline)
+        assert result.cycles > 0
+        assert 0 < result.mean_ftq_occupancy <= 24
+        assert result.fills_timely <= result.fills_issued
+
+    def test_ideal_faster_than_baseline(self, tiny_trace, tiny_baseline):
+        base = simulate_frontend(tiny_trace, tiny_baseline)
+        ideal = simulate_frontend(tiny_trace, None)
+        assert ideal.cycles < base.cycles
+        assert ideal.squash_cycles == 0
+
+    def test_fdip_hides_fill_latency(self, tiny_trace, tiny_baseline):
+        with_fdip = simulate_frontend(tiny_trace, tiny_baseline, fdip=True)
+        without = simulate_frontend(tiny_trace, tiny_baseline, fdip=False)
+        assert with_fdip.fetch_stall_cycles < without.fetch_stall_cycles
+        assert with_fdip.fills_timely > 0
+
+    def test_squashes_match_analytic_model(self, tiny_trace, tiny_baseline):
+        detailed = simulate_frontend(tiny_trace, tiny_baseline)
+        analytic = simulate_timing(tiny_trace, tiny_baseline)
+        assert detailed.squash_cycles == analytic.squash_cycles
+
+    def test_agrees_with_analytic_on_ordering(self, tiny_trace, tiny_baseline):
+        """The two timing models must rank configurations identically."""
+        detailed_base = simulate_frontend(tiny_trace, tiny_baseline)
+        detailed_ideal = simulate_frontend(tiny_trace, None)
+        analytic_base = simulate_timing(tiny_trace, tiny_baseline)
+        analytic_ideal = simulate_timing(tiny_trace, None)
+        detailed_speedup = detailed_ideal.speedup_over(detailed_base)
+        analytic_speedup = analytic_ideal.speedup_over(analytic_base)
+        assert detailed_speedup > 0 and analytic_speedup > 0
+
+    def test_squash_flushes_ftq(self, tiny_trace, tiny_baseline):
+        # With many squashes, mean occupancy drops versus the ideal run.
+        base = simulate_frontend(tiny_trace, tiny_baseline)
+        ideal = simulate_frontend(tiny_trace, None)
+        assert base.mean_ftq_occupancy <= ideal.mean_ftq_occupancy + 1e-9

@@ -1,0 +1,80 @@
+"""Generator internals: caching, input drift, request mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.behaviors import BiasedBehavior, BurstyBehavior
+from repro.workloads.generator import (
+    _drifted_behaviors,
+    _zipf_weights,
+    clear_caches,
+    generate_trace,
+    get_program,
+    merged_traces,
+)
+from repro.workloads.registry import get_spec
+
+
+class TestZipf:
+    def test_normalised(self):
+        weights = _zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = _zipf_weights(50, 0.8)
+        assert all(b <= a for a, b in zip(weights, weights[1:]))
+
+    def test_steeper_exponent_concentrates(self):
+        flat = _zipf_weights(100, 0.5)
+        steep = _zipf_weights(100, 1.5)
+        assert steep[0] > flat[0]
+
+
+class TestDrift:
+    def test_input_zero_never_drifts(self, tiny_spec, tiny_program):
+        assert _drifted_behaviors(tiny_program, 0) == {}
+
+    def test_drift_is_deterministic_per_input(self, tiny_program):
+        a = _drifted_behaviors(tiny_program, 2)
+        b = _drifted_behaviors(tiny_program, 2)
+        assert set(a) == set(b)
+
+    def test_drift_differs_across_inputs(self, tiny_program):
+        a = _drifted_behaviors(tiny_program, 1)
+        b = _drifted_behaviors(tiny_program, 2)
+        assert set(a) != set(b) or not a
+
+    def test_drift_preserves_behavior_class(self, tiny_program):
+        overrides = _drifted_behaviors(tiny_program, 1)
+        assert overrides, "the tiny app should drift some branches"
+        for block, replacement in overrides.items():
+            original = tiny_program.behaviors[block]
+            if isinstance(original, BurstyBehavior):
+                assert isinstance(replacement, BurstyBehavior)
+                assert replacement.common == original.common
+            else:
+                assert isinstance(replacement, BiasedBehavior)
+
+    def test_zero_drift_spec(self):
+        from dataclasses import replace
+
+        spec = replace(get_spec("kafka"), name="kafka-nodrift", drift=0.0)
+        program = get_program(spec)
+        assert _drifted_behaviors(program, 3) == {}
+
+
+class TestMergedTraces:
+    def test_returns_one_trace_per_input(self, tiny_spec):
+        traces = merged_traces(tiny_spec, (0, 1, 2), n_events_each=5000)
+        assert len(traces) == 3
+        assert [t.input_id for t in traces] == [0, 1, 2]
+        assert all(t.n_events == 5000 for t in traces)
+
+
+class TestCaches:
+    def test_clear_caches_forces_rebuild(self, tiny_spec):
+        a = generate_trace(tiny_spec, 0, 5000)
+        clear_caches()
+        b = generate_trace(tiny_spec, 0, 5000)
+        assert a is not b
+        assert np.array_equal(a.block_ids, b.block_ids)

@@ -1,0 +1,81 @@
+"""Geometric history-length series (paper §III-A, Table III)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.geometric import geometric_lengths, length_index
+
+
+class TestPaperSeries:
+    def test_default_series_endpoints(self):
+        lengths = geometric_lengths()
+        assert lengths[0] == 8
+        assert lengths[-1] == 1024
+
+    def test_default_series_has_16_terms(self):
+        assert len(geometric_lengths()) == 16
+
+    def test_default_series_prefix_matches_paper(self):
+        # The paper quotes "8, 11, 15, ..., 1024" (§IV).
+        assert geometric_lengths()[:3] == [8, 11, 15]
+
+    def test_default_series_strictly_increasing(self):
+        lengths = geometric_lengths()
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_fits_4bit_history_field(self):
+        assert len(geometric_lengths()) <= 16
+
+
+class TestGeneralSeries:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_endpoints_exact_for_any_params(self, minimum, count):
+        maximum = minimum * 50
+        lengths = geometric_lengths(minimum, maximum, count)
+        assert lengths[0] == minimum
+        assert lengths[-1] == maximum
+        assert len(lengths) == count
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_strictly_increasing_for_any_params(self, minimum, count):
+        lengths = geometric_lengths(minimum, minimum * 50, count)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_rounding_collisions_bump_upward(self):
+        # A dense series in a narrow range forces rounding collisions.
+        lengths = geometric_lengths(4, 14, 10)
+        assert len(set(lengths)) == 10
+        assert lengths[0] == 4 and lengths[-1] == 14
+
+    def test_infeasible_count_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_lengths(4, 12, 10)  # only 9 distinct ints available
+
+    def test_rejects_single_term(self):
+        with pytest.raises(ValueError):
+            geometric_lengths(8, 1024, 1)
+
+    def test_rejects_nonpositive_minimum(self):
+        with pytest.raises(ValueError):
+            geometric_lengths(0, 1024, 16)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            geometric_lengths(100, 50, 4)
+
+
+class TestLengthIndex:
+    def test_roundtrip_every_entry(self):
+        lengths = geometric_lengths()
+        for i, length in enumerate(lengths):
+            assert length_index(length, lengths) == i
+
+    def test_unknown_length_raises(self):
+        with pytest.raises(ValueError):
+            length_index(9, geometric_lengths())

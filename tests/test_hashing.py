@@ -1,0 +1,157 @@
+"""History hashing: folds, multi-length folds, the history register."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.geometric import geometric_lengths
+from repro.core.hashing import (
+    HistoryRegister,
+    fold_history,
+    fold_history_array,
+    fold_many,
+    mask_history,
+)
+
+histories = st.integers(min_value=0, max_value=(1 << 1024) - 1)
+lengths = st.integers(min_value=0, max_value=1024)
+
+
+class TestMask:
+    @given(histories, lengths)
+    def test_mask_keeps_low_bits(self, history, length):
+        masked = mask_history(history, length)
+        assert masked == history & ((1 << length) - 1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            mask_history(5, -1)
+
+
+class TestFold:
+    @given(histories)
+    def test_short_history_is_identity(self, history):
+        # Length <= hash width: the fold is the raw masked history, which
+        # is what lets a 15-bit formula directly cover length-8 histories.
+        assert fold_history(history, 8) == history & 0xFF
+
+    @given(histories, lengths)
+    def test_fold_fits_width(self, history, length):
+        assert 0 <= fold_history(history, length) < 256
+
+    @given(histories, lengths)
+    def test_fold_only_depends_on_window(self, history, length):
+        polluted = history | (1 << (length + 3))
+        assert fold_history(history, length) == fold_history(
+            mask_history(polluted, length), length
+        )
+
+    def test_xor_fold_of_known_chunks(self):
+        history = 0xAB | (0xCD << 8) | (0x3 << 16)  # chunks 0xAB, 0xCD, 0x03
+        assert fold_history(history, 24) == 0xAB ^ 0xCD ^ 0x03
+
+    def test_partial_top_chunk_is_masked(self):
+        history = 0xFF | (0xFF << 8)
+        # Length 12 keeps only 4 bits of the second chunk.
+        assert fold_history(history, 12) == 0xFF ^ 0x0F
+
+    def test_and_fold(self):
+        history = 0xF0 | (0xFF << 8)
+        assert fold_history(history, 16, op="and") == 0xF0
+
+    def test_or_fold(self):
+        history = 0x0F | (0xF0 << 8)
+        assert fold_history(history, 16, op="or") == 0xFF
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            fold_history(1, 8, op="nand")
+
+    @given(histories, st.integers(min_value=1, max_value=1024))
+    def test_xor_fold_is_linear(self, history, length):
+        # XOR-fold is GF(2)-linear in the history bits.
+        other = (history >> 3) | 1
+        lhs = fold_history(history ^ other, length)
+        rhs = fold_history(history, length) ^ fold_history(other, length)
+        assert lhs == rhs
+
+
+class TestFoldMany:
+    @given(histories)
+    def test_matches_scalar_fold_at_geometric_lengths(self, history):
+        series = geometric_lengths()
+        fast = fold_many(history, series)
+        slow = [fold_history(history, length) for length in series]
+        assert fast == slow
+
+    @given(histories, st.lists(lengths, min_size=1, max_size=8))
+    def test_matches_scalar_fold_at_arbitrary_lengths(self, history, length_list):
+        fast = fold_many(history, length_list)
+        slow = [fold_history(history, length) for length in length_list]
+        assert fast == slow
+
+    def test_empty_lengths(self):
+        assert fold_many(12345, []) == []
+
+    def test_non_xor_falls_back_to_scalar(self):
+        history = (0xF0 << 8) | 0xF3
+        assert fold_many(history, [16], op="and") == [fold_history(history, 16, op="and")]
+
+
+class TestFoldArray:
+    def test_matches_scalar_up_to_64_bits(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**62, size=200)
+        for length in (8, 13, 21, 40, 64):
+            fast = fold_history_array(values, length)
+            slow = [fold_history(int(v), length) for v in values]
+            assert fast.tolist() == slow
+
+    def test_rejects_long_lengths(self):
+        with pytest.raises(ValueError):
+            fold_history_array(np.array([1]), 65)
+
+
+class TestHistoryRegister:
+    def test_push_orders_bits_most_recent_first(self):
+        reg = HistoryRegister(16)
+        for bit in (1, 0, 1, 1):
+            reg.push(bool(bit))
+        # Most recent outcome is bit 0.
+        assert reg.value() == 0b1011
+
+    def test_value_truncation(self):
+        reg = HistoryRegister(16)
+        for _ in range(5):
+            reg.push(True)
+        assert reg.value(3) == 0b111
+
+    def test_wraps_at_max_length(self):
+        reg = HistoryRegister(4)
+        for bit in (1, 1, 1, 1, 0):
+            reg.push(bool(bit))
+        assert reg.value() == 0b1110
+
+    def test_hashed_matches_fold(self):
+        reg = HistoryRegister(64)
+        rng = np.random.default_rng(3)
+        for bit in rng.integers(0, 2, 64):
+            reg.push(bool(bit))
+        for length in (8, 21, 40, 64):
+            assert reg.hashed(length) == fold_history(reg.value(), length)
+
+    def test_clear(self):
+        reg = HistoryRegister(8)
+        reg.push(True)
+        reg.clear()
+        assert reg.value() == 0
+
+    def test_requesting_beyond_capacity_raises(self):
+        reg = HistoryRegister(8)
+        with pytest.raises(ValueError):
+            reg.value(9)
+        with pytest.raises(ValueError):
+            reg.hashed(9)
+
+    def test_len(self):
+        assert len(HistoryRegister(128)) == 128

@@ -1,0 +1,118 @@
+"""Hint buffer and Whisper runtime (paper §IV run-time hint usage)."""
+
+from repro.bpu.runner import RunContext
+from repro.core.formulas import AND, OR, FormulaTree
+from repro.core.hint_buffer import HintBuffer, TableHintRuntime, WhisperRuntime
+from repro.core.hints import BIAS_NONE, BIAS_TAKEN, BrHint
+
+
+def _formula_hint(length_index=0, invert=False):
+    tree = FormulaTree(ops=(OR,) * 7, invert=invert, n_inputs=8)
+    return BrHint(
+        history_index=length_index,
+        formula_bits=tree.encode(),
+        bias=BIAS_NONE,
+        pc_offset=0,
+    )
+
+
+class TestHintBuffer:
+    def test_load_and_lookup(self):
+        buffer = HintBuffer(4)
+        buffer.load(0x100, _formula_hint())
+        assert buffer.lookup(0x100) is not None
+        assert buffer.lookup(0x200) is None
+
+    def test_lru_eviction(self):
+        buffer = HintBuffer(2)
+        buffer.load(1, _formula_hint())
+        buffer.load(2, _formula_hint())
+        buffer.load(3, _formula_hint())  # evicts pc=1
+        assert buffer.lookup(1) is None
+        assert buffer.lookup(2) is not None
+        assert buffer.lookup(3) is not None
+        assert buffer.evictions == 1
+
+    def test_lookup_refreshes_lru(self):
+        buffer = HintBuffer(2)
+        buffer.load(1, _formula_hint())
+        buffer.load(2, _formula_hint())
+        buffer.lookup(1)  # refresh pc=1
+        buffer.load(3, _formula_hint())  # should evict pc=2
+        assert buffer.lookup(1) is not None
+        assert buffer.lookup(2) is None
+
+    def test_reload_moves_to_end_without_duplicate(self):
+        buffer = HintBuffer(2)
+        buffer.load(1, _formula_hint())
+        buffer.load(1, _formula_hint())
+        assert len(buffer) == 1
+
+    def test_unlimited_capacity(self):
+        buffer = HintBuffer(None)
+        for pc in range(100):
+            buffer.load(pc, _formula_hint())
+        assert len(buffer) == 100
+        assert buffer.evictions == 0
+
+    def test_clear_resets_stats(self):
+        buffer = HintBuffer(4)
+        buffer.load(1, _formula_hint())
+        buffer.lookup(1)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.loads == 0 and buffer.hits == 0
+
+
+class TestWhisperRuntime:
+    def test_hints_only_active_after_block_executes(self):
+        hint = _formula_hint()
+        runtime = WhisperRuntime({7: [(0x400, hint)]}, buffer_entries=8)
+        ctx = RunContext()
+        assert runtime.predict(0x400, ctx) is None  # not loaded yet
+        runtime.on_block(7)
+        assert runtime.predict(0x400, ctx) is not None
+
+    def test_formula_prediction_uses_live_history(self):
+        # OR over 8 bits with length index 0 (length 8): any recent taken
+        # branch makes the prediction True.
+        hint = _formula_hint()
+        runtime = WhisperRuntime({1: [(0x400, hint)]})
+        runtime.on_block(1)
+        ctx = RunContext()
+        assert runtime.predict(0x400, ctx) is False  # empty history
+        ctx.push(0x100, True)
+        assert runtime.predict(0x400, ctx) is True
+
+    def test_bias_hint(self):
+        hint = BrHint(0, 0, BIAS_TAKEN, 0)
+        runtime = WhisperRuntime({1: [(0x100, hint)]})
+        runtime.on_block(1)
+        assert runtime.predict(0x100, RunContext()) is True
+
+    def test_reset_clears_buffer(self):
+        runtime = WhisperRuntime({1: [(0x100, _formula_hint())]})
+        runtime.on_block(1)
+        runtime.reset()
+        assert runtime.predict(0x100, RunContext()) is None
+
+    def test_buffer_pressure_drops_oldest_hints(self):
+        placements = {i: [(0x1000 + i, _formula_hint())] for i in range(4)}
+        runtime = WhisperRuntime(placements, buffer_entries=2)
+        for block in range(4):
+            runtime.on_block(block)
+        ctx = RunContext()
+        assert runtime.predict(0x1000, ctx) is None
+        assert runtime.predict(0x1003, ctx) is not None
+
+
+class TestTableHintRuntime:
+    def test_table_lookup(self):
+        table = {0x10: lambda history: bool(history & 1)}
+        runtime = TableHintRuntime(table)
+        ctx = RunContext()
+        assert runtime.predict(0x99, ctx) is None
+        ctx.push(0x5, True)
+        assert runtime.predict(0x10, ctx) is True
+        ctx.push(0x5, False)
+        assert runtime.predict(0x10, ctx) is False

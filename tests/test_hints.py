@@ -1,0 +1,94 @@
+"""brhint encoding (paper Fig 11)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.formulas import AND, IMPL, FormulaTree
+from repro.core.geometric import geometric_lengths
+from repro.core.hints import (
+    BIAS_NONE,
+    BIAS_NOT_TAKEN,
+    BIAS_TAKEN,
+    FORMULA_BITS,
+    PC_BITS,
+    TOTAL_BITS,
+    BrHint,
+)
+
+hint_strategy = st.builds(
+    BrHint,
+    history_index=st.integers(0, 15),
+    formula_bits=st.integers(0, (1 << FORMULA_BITS) - 1),
+    bias=st.sampled_from([BIAS_NONE, BIAS_TAKEN, BIAS_NOT_TAKEN]),
+    pc_offset=st.integers(0, (1 << PC_BITS) - 1),
+)
+
+
+class TestEncoding:
+    def test_total_width_is_33_bits(self):
+        assert TOTAL_BITS == 33
+
+    @given(hint_strategy)
+    def test_roundtrip(self, hint):
+        assert BrHint.decode(hint.encode()) == hint
+
+    @given(hint_strategy)
+    def test_encoding_fits_33_bits(self, hint):
+        assert 0 <= hint.encode() < (1 << 33)
+
+    def test_field_layout_msb_first(self):
+        hint = BrHint(history_index=0xF, formula_bits=0, bias=0, pc_offset=0)
+        assert hint.encode() == 0xF << (15 + 2 + 12)
+
+    def test_pc_offset_is_lsb_field(self):
+        hint = BrHint(history_index=0, formula_bits=0, bias=0, pc_offset=0xABC)
+        assert hint.encode() == 0xABC
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            BrHint.decode(1 << 33)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(history_index=16, formula_bits=0, bias=0, pc_offset=0),
+            dict(history_index=0, formula_bits=1 << 15, bias=0, pc_offset=0),
+            dict(history_index=0, formula_bits=0, bias=3, pc_offset=0),
+            dict(history_index=0, formula_bits=0, bias=0, pc_offset=1 << 12),
+        ],
+    )
+    def test_field_range_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BrHint(**kwargs)
+
+
+class TestSemantics:
+    def test_history_length_lookup(self):
+        lengths = geometric_lengths()
+        for i in (0, 5, 15):
+            hint = BrHint(history_index=i, formula_bits=0, bias=0, pc_offset=0)
+            assert hint.history_length == lengths[i]
+
+    def test_bias_names(self):
+        assert BrHint(0, 0, BIAS_TAKEN, 0).bias_name == "taken"
+        assert BrHint(0, 0, BIAS_NOT_TAKEN, 0).bias_name == "not-taken"
+        assert BrHint(0, 0, BIAS_NONE, 0).bias_name == "none"
+
+    def test_bias_prediction_is_constant(self):
+        taken = BrHint(0, 0, BIAS_TAKEN, 0)
+        nottaken = BrHint(0, 0, BIAS_NOT_TAKEN, 0)
+        for history in (0, 0x5A, 0xFF):
+            assert taken.predict(history) is True
+            assert nottaken.predict(history) is False
+
+    def test_formula_prediction_matches_tree(self):
+        tree = FormulaTree(ops=(IMPL,) + (AND,) * 6, invert=True, n_inputs=8)
+        hint = BrHint(
+            history_index=0, formula_bits=tree.encode(), bias=BIAS_NONE, pc_offset=0
+        )
+        assert hint.formula() == tree
+        for history in range(0, 256, 13):
+            assert hint.predict(history) == bool(tree.evaluate(history))
+
+    def test_bias_hint_has_no_formula(self):
+        assert BrHint(0, 0, BIAS_TAKEN, 0).formula() is None

@@ -1,0 +1,112 @@
+"""Link-time hint injection: predecessor choice, offsets, overheads."""
+
+import pytest
+
+from repro.core.hints import PC_BITS, BrHint
+from repro.core.injection import HintPlacement, inject_hints
+from repro.workloads.program import INSTRUCTION_BYTES
+
+
+class TestPlacementProperties:
+    def test_hosts_precede_branches(self, tiny_program, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        for pc, host in placement.host_of_branch.items():
+            branch_block = tiny_program.block_of_pc(pc)
+            host_func = int(tiny_program.func_of_block[host])
+            branch_func = int(tiny_program.func_of_block[branch_block])
+            if host_func == branch_func:
+                assert host < branch_block
+
+    def test_offsets_fit_pc_pointer(self, tiny_program, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        for block, hints in placement.placements.items():
+            base = int(tiny_program.block_addrs[block])
+            for pc, hint in hints:
+                offset = (pc - base) // INSTRUCTION_BYTES
+                assert 0 <= offset < (1 << PC_BITS)
+                assert hint.pc_offset == offset
+
+    def test_every_placed_hint_has_host(self, tiny_whisper):
+        _, trained, placement, _ = tiny_whisper
+        placed = {pc for hints in placement.placements.values() for pc, _ in hints}
+        assert placed == set(placement.host_of_branch)
+        assert placed <= set(trained.hints)
+
+    def test_placed_plus_dropped_covers_trained(self, tiny_whisper):
+        _, trained, placement, _ = tiny_whisper
+        assert placement.n_hints + len(placement.dropped) == trained.n_hints
+
+    def test_drop_reasons_are_known(self, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        known = {"unknown-branch", "no-predecessor", "weak-correlation", "offset-overflow"}
+        assert set(placement.dropped.values()) <= known
+
+
+class TestOverheadAccounting:
+    def test_static_overhead(self, tiny_program, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        expected = placement.n_hints / tiny_program.static_instructions
+        assert placement.static_overhead(tiny_program) == pytest.approx(expected)
+
+    def test_dynamic_overhead_counts_host_executions(self, tiny_trace, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        import numpy as np
+
+        counts = np.bincount(
+            tiny_trace.block_ids, minlength=tiny_trace.program.n_blocks
+        )
+        expected = sum(
+            len(hints) * int(counts[block])
+            for block, hints in placement.placements.items()
+        )
+        assert placement.dynamic_instructions_added(tiny_trace) == expected
+        assert placement.dynamic_overhead(tiny_trace) == pytest.approx(
+            expected / tiny_trace.n_instructions
+        )
+
+    def test_empty_placement_zero_overhead(self, tiny_program, tiny_trace):
+        placement = HintPlacement()
+        assert placement.static_overhead(tiny_program) == 0.0
+        assert placement.dynamic_overhead(tiny_trace) == 0.0
+
+
+class TestInjectHints:
+    def test_unknown_pc_dropped(self, tiny_program, tiny_trace):
+        hint = BrHint(0, 0, 1, 0)
+        placement = inject_hints(tiny_program, {0x2: hint}, trace=tiny_trace)
+        assert placement.dropped == {0x2: "unknown-branch"}
+
+    def test_ready_brhint_gets_offset_rewritten(self, tiny_program, tiny_trace):
+        func = tiny_program.functions[0]
+        block = func.first_block + 2
+        if not tiny_program.is_conditional[block]:
+            block += 1
+        pc = int(tiny_program.branch_pcs[block])
+        hint = BrHint(3, 17, 0, 0)
+        placement = inject_hints(tiny_program, {pc: hint}, trace=tiny_trace)
+        if pc in placement.host_of_branch:
+            host = placement.host_of_branch[pc]
+            placed = dict(placement.placements[host])[pc]
+            assert placed.history_index == 3
+            assert placed.formula_bits == 17
+            assert placed.pc_offset > 0
+
+    def test_lead_parameter_moves_host_earlier(self, tiny_program, tiny_trace, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        near = inject_hints(tiny_program, trained.hints, trace=tiny_trace, lead=1)
+        far = inject_hints(tiny_program, trained.hints, trace=tiny_trace, lead=4)
+        common = set(near.host_of_branch) & set(far.host_of_branch)
+        assert common
+        assert all(far.host_of_branch[pc] <= near.host_of_branch[pc] for pc in common)
+
+    def test_chain_head_uses_trace_correlation_or_drops(self, tiny_program, tiny_trace):
+        heads = [
+            func.first_block
+            for func in tiny_program.functions
+            if tiny_program.is_conditional[func.first_block]
+        ]
+        assert heads, "fixture should have conditional chain heads"
+        pc = int(tiny_program.branch_pcs[heads[0]])
+        hint = BrHint(0, 0, 1, 0)
+        placement = inject_hints(tiny_program, {pc: hint}, trace=tiny_trace)
+        assert (pc in placement.host_of_branch) or (pc in placement.dropped)

@@ -1,0 +1,129 @@
+"""End-to-end integration: the full Whisper pipeline on a real app spec,
+plus cross-technique invariants the paper's evaluation depends on."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BranchProfile,
+    WhisperOptimizer,
+    generate_trace,
+    get_program,
+    get_spec,
+    scaled_tage_sc_l,
+    simulate,
+)
+from repro.bpu import MTageScPredictor
+from repro.core.rombf import RombfOptimizer
+from repro.sim import simulate_timing
+
+N_EVENTS = 50_000
+WARMUP = 0.3
+
+
+@pytest.fixture(scope="module")
+def mysql_setup():
+    spec = get_spec("mysql")
+    program = get_program(spec)
+    train = generate_trace(spec, 0, N_EVENTS)
+    test = generate_trace(spec, 1, N_EVENTS)
+    profile = BranchProfile.collect([train], lambda: scaled_tage_sc_l(64))
+    optimizer = WhisperOptimizer()
+    trained, placement, runtime = optimizer.optimize(profile, program)
+    baseline = simulate(test, scaled_tage_sc_l(64))
+    optimized = simulate(test, scaled_tage_sc_l(64), runtime=runtime)
+    return dict(
+        spec=spec, program=program, train=train, test=test, profile=profile,
+        trained=trained, placement=placement, runtime=runtime,
+        baseline=baseline, optimized=optimized,
+    )
+
+
+class TestPipeline:
+    def test_whisper_reduces_mispredictions(self, mysql_setup):
+        base = mysql_setup["baseline"].with_warmup(WARMUP)
+        opt = mysql_setup["optimized"].with_warmup(WARMUP)
+        reduction = opt.misprediction_reduction(base)
+        # Paper: 16.8% average (1.7-32.4%); mysql sits near the top.
+        assert reduction > 5.0
+
+    def test_whisper_beats_rombf_cross_input(self, mysql_setup):
+        rombf = RombfOptimizer(n_bits=8)
+        runtime = rombf.build_runtime(rombf.train(mysql_setup["profile"]))
+        rombf_run = simulate(mysql_setup["test"], scaled_tage_sc_l(64), runtime=runtime)
+        base = mysql_setup["baseline"].with_warmup(WARMUP)
+        whisper_red = mysql_setup["optimized"].with_warmup(WARMUP).misprediction_reduction(base)
+        rombf_red = rombf_run.with_warmup(WARMUP).misprediction_reduction(base)
+        assert whisper_red > rombf_red
+
+    def test_mtage_beats_scaled_baseline(self, mysql_setup):
+        mtage = simulate(mysql_setup["test"], MTageScPredictor())
+        base = mysql_setup["baseline"].with_warmup(WARMUP)
+        assert mtage.with_warmup(WARMUP).mispredictions < base.mispredictions
+
+    def test_whisper_speedup_positive(self, mysql_setup):
+        base_timing = simulate_timing(
+            mysql_setup["test"], mysql_setup["baseline"], name="base"
+        )
+        whisper_timing = simulate_timing(
+            mysql_setup["test"],
+            mysql_setup["optimized"],
+            placement=mysql_setup["placement"],
+            name="whisper",
+        )
+        ideal_timing = simulate_timing(mysql_setup["test"], None, name="ideal")
+        speedup = whisper_timing.speedup_over(base_timing)
+        ideal = ideal_timing.speedup_over(base_timing)
+        assert 0 < speedup < ideal
+
+    def test_overheads_within_sane_bounds(self, mysql_setup):
+        placement = mysql_setup["placement"]
+        static = placement.static_overhead(mysql_setup["program"])
+        dynamic = placement.dynamic_overhead(mysql_setup["train"])
+        assert 0 < static < 0.15  # paper: 11.4% at 1000x profile coverage
+        assert 0 < dynamic < 0.15  # paper: 9.8%
+
+    def test_hint_buffer_32_close_to_unlimited(self, mysql_setup):
+        from repro.core.whisper import WhisperConfig
+
+        unlimited_rt = WhisperOptimizer(
+            WhisperConfig(hint_buffer_entries=None)
+        ).build_runtime(mysql_setup["placement"])
+        unlimited = simulate(
+            mysql_setup["test"], scaled_tage_sc_l(64), runtime=unlimited_rt
+        )
+        limited = mysql_setup["optimized"]
+        gap = abs(unlimited.mispredictions - limited.mispredictions)
+        assert gap / max(1, limited.mispredictions) < 0.1
+
+    def test_deterministic_pipeline(self, mysql_setup):
+        again = simulate(
+            mysql_setup["test"], scaled_tage_sc_l(64), runtime=mysql_setup["runtime"]
+        )
+        assert again.mispredictions == mysql_setup["optimized"].mispredictions
+
+    def test_hinted_branches_mostly_trained_ones(self, mysql_setup):
+        optimized = mysql_setup["optimized"]
+        test = mysql_setup["test"]
+        hinted_pcs = set(
+            int(p) for p in test.pcs[optimized.cond_event_indices[optimized.hinted]]
+        )
+        assert hinted_pcs <= set(mysql_setup["trained"].hints)
+
+
+class TestPublicApi:
+    def test_readme_quickstart_flow(self):
+        spec = get_spec("kafka")
+        trace = generate_trace(spec, input_id=0, n_events=15_000)
+        profile = BranchProfile.collect([trace], lambda: scaled_tage_sc_l(64))
+        whisper = WhisperOptimizer()
+        trained, placement, runtime = whisper.optimize(profile, trace.program)
+        test = generate_trace(spec, input_id=1, n_events=15_000)
+        baseline = simulate(test, scaled_tage_sc_l(64))
+        optimized = simulate(test, scaled_tage_sc_l(64), runtime=runtime)
+        assert isinstance(optimized.misprediction_reduction(baseline), float)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,77 @@
+"""Perceptron reference predictor."""
+
+import numpy as np
+import pytest
+
+from repro.bpu.perceptron import PerceptronPredictor
+from repro.bpu.simple import BimodalPredictor
+
+
+def drive(predictor, stream):
+    wrong = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) != taken:
+            wrong += 1
+        predictor.update(pc, taken)
+    return 1.0 - wrong / len(stream)
+
+
+class TestPerceptron:
+    def test_learns_biased_branch(self):
+        stream = [(0x100, True)] * 2000
+        assert drive(PerceptronPredictor(), stream) > 0.99
+
+    def test_learns_alternation(self):
+        stream = [(0x100, bool(i % 2)) for i in range(4000)]
+        assert drive(PerceptronPredictor(), stream) > 0.95
+
+    def test_learns_linear_history_correlation(self):
+        # Outcome = direction of the branch 3 steps ago: linearly
+        # separable, a perceptron specialty.
+        rng = np.random.default_rng(0)
+        outcomes = rng.integers(0, 2, 6000).astype(bool)
+        stream = []
+        for i in range(3, 6000):
+            pc = 0x200 if i % 2 == 0 else 0x300
+            taken = bool(outcomes[i - 3]) if pc == 0x200 else bool(outcomes[i])
+            stream.append((pc, taken))
+        accuracy = drive(PerceptronPredictor(history_length=8), stream)
+        assert accuracy > 0.7  # bimodal would sit near 0.5
+
+    def test_beats_bimodal_on_correlated_stream(self):
+        stream = [(0x100, bool((i // 2) % 2)) for i in range(4000)]
+        assert drive(PerceptronPredictor(), stream) > drive(BimodalPredictor(), stream)
+
+    def test_threshold_follows_paper_formula(self):
+        predictor = PerceptronPredictor(history_length=24)
+        assert predictor.theta == int(1.93 * 24 + 14)
+
+    def test_weights_saturate(self):
+        predictor = PerceptronPredictor(n_perceptrons=4, history_length=4)
+        for _ in range(2000):
+            predictor.predict(0x10)
+            predictor.update(0x10, True)
+        weights = predictor._weights[predictor._index(0x10)]
+        assert all(-128 <= w <= 127 for w in weights)
+
+    def test_reset(self):
+        predictor = PerceptronPredictor()
+        for _ in range(50):
+            predictor.update(0x10, False)
+        predictor.reset()
+        assert predictor.predict(0x10) is True  # zero weights -> taken
+
+    def test_storage_accounting(self):
+        predictor = PerceptronPredictor(n_perceptrons=512, history_length=24)
+        assert predictor.storage_bits == 512 * 25 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_length=0)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(n_perceptrons=0)
+
+    def test_cold_update_path(self):
+        predictor = PerceptronPredictor()
+        predictor.update(0x999, True)  # update without predict
+        assert isinstance(predictor.predict(0x999), bool)

@@ -1,0 +1,64 @@
+"""Branch profiles: collection, merging, scaling helpers."""
+
+import pytest
+
+from repro.bpu.scaling import CAPACITY_SCALE, scaled_tage_sc_l, simulated_kb
+from repro.profiling.profile import BranchProfile
+
+
+class TestProfileCollection:
+    def test_per_pc_totals(self, tiny_trace, tiny_profile):
+        assert tiny_profile.total_executions == tiny_trace.n_conditional
+        assert tiny_profile.total_mispredictions > 0
+        assert tiny_profile.app == tiny_trace.app
+
+    def test_matches_direct_simulation(self, tiny_trace, tiny_baseline, tiny_profile):
+        raw = tiny_baseline.with_warmup(0.0)
+        assert tiny_profile.total_mispredictions == raw.mispredictions
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            BranchProfile.collect([], lambda: scaled_tage_sc_l(64))
+
+    def test_merge_accumulates(self, tiny_trace, tiny_trace_alt):
+        a = BranchProfile.collect([tiny_trace], lambda: scaled_tage_sc_l(64))
+        b = BranchProfile.collect([tiny_trace_alt], lambda: scaled_tage_sc_l(64))
+        merged = BranchProfile.merge([a, b])
+        assert merged.total_executions == a.total_executions + b.total_executions
+        assert len(merged.traces) == 2
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BranchProfile.merge([])
+
+    def test_multi_trace_collection(self, tiny_trace, tiny_trace_alt):
+        profile = BranchProfile.collect(
+            [tiny_trace, tiny_trace_alt], lambda: scaled_tage_sc_l(64)
+        )
+        assert profile.total_executions == (
+            tiny_trace.n_conditional + tiny_trace_alt.n_conditional
+        )
+
+
+class TestCapacityScaling:
+    def test_scale_factor(self):
+        assert simulated_kb(64) == 64 / CAPACITY_SCALE
+
+    def test_floor(self):
+        assert simulated_kb(1) == 0.5
+
+    def test_label_carried_on_predictor(self):
+        predictor = scaled_tage_sc_l(128)
+        assert predictor.label_kb == 128
+        assert "128kb" in predictor.name
+
+    def test_bigger_label_bigger_tables(self):
+        small = scaled_tage_sc_l(8)
+        large = scaled_tage_sc_l(1024)
+        assert large.tage.log_entries > small.tage.log_entries
+
+    def test_bimodal_base_not_scaled(self):
+        # The bimodal base stays real-sized; only tagged tables scale.
+        small = scaled_tage_sc_l(8)
+        large = scaled_tage_sc_l(1024)
+        assert small.tage.log_bimodal == large.tage.log_bimodal == 15

@@ -1,0 +1,63 @@
+"""Driver/follower rewiring in program synthesis (DESIGN.md decision 2)."""
+
+import numpy as np
+
+from repro.workloads.behaviors import BiasedBehavior, SparseHistoryBehavior
+from repro.workloads.generator import get_program
+from repro.workloads.registry import get_spec
+
+
+class TestRewiring:
+    def test_programs_have_drivers_and_followers(self, tiny_program):
+        drivers = [
+            b for b in tiny_program.behaviors
+            if isinstance(b, BiasedBehavior) and 0.0 < b.p < 1.0
+        ]
+        followers = [
+            b for b in tiny_program.behaviors
+            if isinstance(b, SparseHistoryBehavior)
+        ]
+        assert drivers and followers
+
+    def test_follower_depths_span_fig6_range(self):
+        program = get_program(get_spec("mysql"))
+        depths = [
+            b.needed_length
+            for b in program.behaviors
+            if isinstance(b, SparseHistoryBehavior)
+        ]
+        assert min(depths) >= 1
+        assert max(depths) > 64  # long-history correlations exist
+        mid = sum(1 for d in depths if 16 < d <= 256)
+        assert mid > len(depths) * 0.3  # bulk in the paper's 32-256 band
+
+    def test_follower_outcomes_track_history_bits(self, tiny_program, tiny_trace):
+        """Replaying the trace, follower outcomes (minus noise) must match
+        their planted truth table on the live history — the ground truth
+        the whole evaluation relies on."""
+        followers = {}
+        for block, behavior in enumerate(tiny_program.behaviors):
+            if isinstance(behavior, SparseHistoryBehavior) and behavior.noise < 0.01:
+                followers[block] = behavior
+
+        history = 0
+        matches = total = 0
+        block_ids = tiny_trace.block_ids
+        taken_arr = tiny_trace.taken
+        cond = tiny_trace.is_conditional
+        for i in range(tiny_trace.n_events):
+            if not cond[i]:
+                continue
+            block = int(block_ids[i])
+            taken = bool(taken_arr[i])
+            behavior = followers.get(block)
+            if behavior is not None:
+                key = 0
+                for bit_index, pos in enumerate(behavior.positions):
+                    key |= ((history >> pos) & 1) << bit_index
+                expected = bool((behavior.table >> key) & 1)
+                matches += expected == taken
+                total += 1
+            history = ((history << 1) | int(taken)) & ((1 << 1024) - 1)
+        assert total > 50
+        assert matches / total > 0.99  # noise-free followers are exact

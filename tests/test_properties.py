@@ -1,0 +1,114 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.formulas import WHISPER_OPS, FormulaTree
+from repro.core.hints import BrHint, FORMULA_BITS, PC_BITS
+from repro.core.injection import HintPlacement
+from repro.core.search import FormulaSearch
+from repro.core.serialization import placement_from_dict, placement_to_dict
+from repro.profiling.pt import PacketDecoder, PacketEncoder, TntPacket
+from repro.analysis.reuse import ReuseDistanceTracker
+
+counts_tables = st.dictionaries(
+    st.integers(0, 255), st.integers(1, 50), min_size=0, max_size=40
+)
+
+_shared_search = FormulaSearch(fraction=0.002, seed=3)
+
+
+class TestSearchProperties:
+    @given(counts_tables, counts_tables)
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_best_bias(self, taken, nottaken):
+        """Algorithm 1 with the Bias field can always fall back to a
+        constant prediction, so its error is bounded by the minority
+        direction's sample count."""
+        result = _shared_search.find_best_formula(taken, nottaken)
+        total_taken = sum(taken.values())
+        total_nottaken = sum(nottaken.values())
+        assert result.mispredictions <= min(total_taken, total_nottaken)
+
+    @given(counts_tables)
+    @settings(max_examples=20, deadline=None)
+    def test_constant_branch_is_perfect(self, taken):
+        result = _shared_search.find_best_formula(taken, {})
+        assert result.mispredictions == 0
+
+    @given(counts_tables, counts_tables)
+    @settings(max_examples=20, deadline=None)
+    def test_error_bounded_by_total_samples(self, taken, nottaken):
+        result = _shared_search.find_best_formula(taken, nottaken)
+        assert 0 <= result.mispredictions <= sum(taken.values()) + sum(nottaken.values())
+
+
+class TestEvaluationProperties:
+    @given(
+        st.tuples(*[st.sampled_from(WHISPER_OPS)] * 7),
+        st.booleans(),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=100)
+    def test_output_is_binary(self, ops, invert, history):
+        tree = FormulaTree(ops=ops, invert=invert, n_inputs=8)
+        assert tree.evaluate(history) in (0, 1)
+
+    @given(st.tuples(*[st.sampled_from(WHISPER_OPS)] * 7), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_inversion_involution(self, ops, history):
+        plain = FormulaTree(ops=ops, invert=False, n_inputs=8)
+        flipped = FormulaTree(ops=ops, invert=True, n_inputs=8)
+        assert plain.evaluate(history) != flipped.evaluate(history)
+
+
+class TestPtProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_tnt_stream_roundtrip(self, outcomes):
+        chunks = [
+            TntPacket(tuple(outcomes[i : i + 6])).encode()
+            for i in range(0, len(outcomes), 6)
+        ]
+        decoded = PacketDecoder().decode(b"".join(chunks))
+        assert decoded.outcomes == outcomes
+
+
+class TestReuseProperties:
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=150))
+    @settings(max_examples=40)
+    def test_distance_bounded_by_distinct_keys(self, keys):
+        tracker = ReuseDistanceTracker(len(keys))
+        n_distinct = len(set(keys))
+        for key in keys:
+            distance = tracker.access(key)
+            if distance is not None:
+                assert 0 <= distance < n_distinct
+
+
+hint_lists = st.lists(
+    st.tuples(
+        st.integers(0, 2**20),  # branch pc
+        st.builds(
+            BrHint,
+            history_index=st.integers(0, 15),
+            formula_bits=st.integers(0, (1 << FORMULA_BITS) - 1),
+            bias=st.integers(0, 2),
+            pc_offset=st.integers(0, (1 << PC_BITS) - 1),
+        ),
+    ),
+    max_size=10,
+)
+
+
+class TestSerializationProperties:
+    @given(st.dictionaries(st.integers(0, 1000), hint_lists, max_size=6))
+    @settings(max_examples=40)
+    def test_placement_roundtrip(self, placements):
+        placement = HintPlacement(placements=dict(placements))
+        for block, hints in placements.items():
+            for pc, _ in hints:
+                placement.host_of_branch[pc] = block
+        restored = placement_from_dict(placement_to_dict(placement))
+        assert restored.placements == placement.placements

@@ -1,0 +1,128 @@
+"""PT packetisation and LBR-style sampled profiling."""
+
+import numpy as np
+import pytest
+
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.core.whisper import WhisperOptimizer
+from repro.profiling.lbr import LBR_DEPTH, collect_lbr_profile, sampling_overhead
+from repro.profiling.profile import BranchProfile
+from repro.profiling.pt import (
+    PacketDecoder,
+    PacketEncoder,
+    PsbPacket,
+    TipPacket,
+    TntPacket,
+    roundtrip_outcomes,
+)
+
+
+class TestPackets:
+    def test_tnt_encoding_layout(self):
+        packet = TntPacket((True, False, True))
+        header, payload = packet.encode()
+        assert header == 0b01
+        assert payload == 0b1101  # bits LSB-first + stop bit at position 3
+
+    def test_tnt_capacity_bounds(self):
+        with pytest.raises(ValueError):
+            TntPacket(())
+        with pytest.raises(ValueError):
+            TntPacket((True,) * 7)
+
+    def test_tip_roundtrip(self):
+        packet = TipPacket(0x40BEEF)
+        decoded = PacketDecoder().decode(packet.encode())
+        assert decoded.tips == [0x40BEEF]
+
+    def test_psb(self):
+        decoded = PacketDecoder().decode(PsbPacket().encode())
+        assert decoded.psb_count == 1
+
+
+class TestStreamRoundtrip:
+    def test_exact_outcome_recovery(self, tiny_trace):
+        recovered = roundtrip_outcomes(tiny_trace)
+        expected = tiny_trace.taken[tiny_trace.is_conditional]
+        assert np.array_equal(recovered, expected)
+
+    def test_roundtrip_with_tips(self, tiny_trace):
+        encoder = PacketEncoder()
+        encoded = encoder.encode_trace(tiny_trace, tip_every=500)
+        decoded = PacketDecoder().decode(encoded)
+        expected = tiny_trace.taken[tiny_trace.is_conditional]
+        assert np.array_equal(decoded.outcomes_array(), expected)
+        assert len(decoded.tips) == (tiny_trace.n_events - 1) // 500
+
+    def test_compression_below_half_byte_per_branch(self, tiny_trace):
+        # PT's efficiency claim: ~1/3 byte per conditional branch here
+        # (6 outcomes per 2-byte packet).
+        encoded = PacketEncoder().encode_trace(tiny_trace)
+        assert PacketEncoder.bytes_per_branch(encoded, tiny_trace) < 0.5
+
+    def test_psb_markers_emitted(self, tiny_trace):
+        encoded = PacketEncoder(psb_interval=64).encode_trace(tiny_trace)
+        decoded = PacketDecoder().decode(encoded)
+        assert decoded.psb_count > 1
+
+    def test_decoder_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PacketDecoder().decode(bytes([0xFF]))
+        with pytest.raises(ValueError):
+            PacketDecoder().decode(bytes([0b01]))  # truncated TNT
+        with pytest.raises(ValueError):
+            PacketDecoder().decode(bytes([0b01, 0]))  # missing stop bit
+        with pytest.raises(ValueError):
+            PacketDecoder().decode(bytes([0b10, 1, 2]))  # truncated TIP
+
+    def test_encoder_validates_interval(self):
+        with pytest.raises(ValueError):
+            PacketEncoder(psb_interval=0)
+
+
+class TestLbr:
+    def test_sampled_counts_are_subset(self, tiny_trace, tiny_profile):
+        sampled = collect_lbr_profile(
+            [tiny_trace], lambda: scaled_tage_sc_l(64), sample_period=64
+        )
+        for pc, (execs, mispredicts) in sampled.per_pc.items():
+            full_execs, full_mispredicts = tiny_profile.per_pc[pc]
+            assert execs <= full_execs
+            assert mispredicts <= full_mispredicts
+
+    def test_dense_sampling_converges_to_full_profile(self, tiny_trace, tiny_profile):
+        # Sampling every 32 branches with a 32-deep stack sees everything.
+        sampled = collect_lbr_profile(
+            [tiny_trace], lambda: scaled_tage_sc_l(64), sample_period=32, depth=32
+        )
+        # All but the trailing (unsampled) partial window is captured.
+        assert sampled.total_executions >= tiny_profile.total_executions - 32
+
+    def test_misprediction_rates_close_to_full(self, tiny_trace, tiny_profile):
+        sampled = collect_lbr_profile(
+            [tiny_trace], lambda: scaled_tage_sc_l(64), sample_period=48
+        )
+        full_rate = tiny_profile.total_mispredictions / tiny_profile.total_executions
+        sampled_rate = sampled.total_mispredictions / sampled.total_executions
+        assert abs(full_rate - sampled_rate) < 0.05
+
+    def test_whisper_trains_from_lbr_profile(self, tiny_trace, tiny_program):
+        sampled = collect_lbr_profile(
+            [tiny_trace], lambda: scaled_tage_sc_l(64), sample_period=48
+        )
+        trained = WhisperOptimizer().train(sampled)
+        assert trained.n_hints > 0
+
+    def test_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            collect_lbr_profile([tiny_trace], lambda: scaled_tage_sc_l(64), sample_period=0)
+        with pytest.raises(ValueError):
+            collect_lbr_profile(
+                [tiny_trace], lambda: scaled_tage_sc_l(64), depth=LBR_DEPTH + 1
+            )
+        with pytest.raises(ValueError):
+            collect_lbr_profile([], lambda: scaled_tage_sc_l(64))
+
+    def test_sampling_overhead(self):
+        assert sampling_overhead(64) == pytest.approx(0.5)
+        assert sampling_overhead(16) == 1.0

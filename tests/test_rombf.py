@@ -1,0 +1,85 @@
+"""ROMBF baseline (Jimenez 2001 as evaluated by the paper)."""
+
+import pytest
+
+from repro.bpu.runner import simulate
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.core.rombf import RombfOptimizer
+
+
+class TestTraining:
+    def test_only_4_and_8_bit_variants(self):
+        with pytest.raises(ValueError):
+            RombfOptimizer(n_bits=6)
+
+    @pytest.mark.parametrize("n_bits", [4, 8])
+    def test_trains_annotations(self, tiny_profile, n_bits):
+        result = RombfOptimizer(n_bits=n_bits).train(tiny_profile)
+        assert result.n_bits == n_bits
+        assert result.n_annotations > 0
+        assert result.work_units > 0
+        assert result.training_seconds > 0
+
+    def test_8bit_explores_more_formulas_than_4bit(self, tiny_profile):
+        r4 = RombfOptimizer(n_bits=4).train(tiny_profile)
+        r8 = RombfOptimizer(n_bits=8).train(tiny_profile)
+        # Same samples, 130 vs 10 formulas each: ~13x the work (Fig 16's
+        # exponential-growth story).
+        assert r8.work_units > 5 * r4.work_units
+
+    def test_annotations_beat_baseline_on_profile(self, tiny_profile):
+        result = RombfOptimizer(n_bits=8).train(tiny_profile)
+        for pc, annotation in result.annotations.items():
+            assert annotation.mispredictions < tiny_profile.per_pc[pc][1]
+
+    def test_storage_per_branch(self):
+        assert RombfOptimizer(n_bits=8).train.__self__.n_bits == 8
+        from repro.core.rombf import RombfResult
+
+        assert RombfResult(n_bits=8).storage_bits_per_branch == 9
+        assert RombfResult(n_bits=4).storage_bits_per_branch == 5
+
+
+class TestDeployment:
+    def test_runtime_reduces_mispredictions(self, tiny_trace, tiny_baseline, tiny_profile):
+        optimizer = RombfOptimizer(n_bits=8)
+        trained = optimizer.train(tiny_profile)
+        runtime = optimizer.build_runtime(trained)
+        optimized = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=runtime)
+        assert optimized.mispredictions < tiny_baseline.mispredictions
+
+    def test_whisper_beats_rombf(self, tiny_trace_alt, tiny_profile, tiny_whisper):
+        """The paper's core claim, on the cross-input test trace."""
+        _, _, _, whisper_runtime = tiny_whisper
+        optimizer = RombfOptimizer(n_bits=8)
+        rombf_runtime = optimizer.build_runtime(optimizer.train(tiny_profile))
+
+        base = simulate(tiny_trace_alt, scaled_tage_sc_l(64))
+        whisper = simulate(tiny_trace_alt, scaled_tage_sc_l(64), runtime=whisper_runtime)
+        rombf = simulate(tiny_trace_alt, scaled_tage_sc_l(64), runtime=rombf_runtime)
+        assert whisper.misprediction_reduction(base) > rombf.misprediction_reduction(base)
+
+    def test_bias_entries_predict_constants(self, tiny_profile, tiny_trace):
+        optimizer = RombfOptimizer(n_bits=4)
+        trained = optimizer.train(tiny_profile)
+        runtime = optimizer.build_runtime(trained)
+        biased = [
+            pc for pc, ann in trained.annotations.items() if ann.bias is not None
+        ]
+        if biased:
+            pc = biased[0]
+            entry = runtime.table[pc]
+            assert entry(0) == entry(0xFFFF)
+
+    def test_formula_entries_mask_history(self, tiny_profile):
+        optimizer = RombfOptimizer(n_bits=4)
+        trained = optimizer.train(tiny_profile)
+        runtime = optimizer.build_runtime(trained)
+        formula_pcs = [
+            pc for pc, ann in trained.annotations.items() if ann.formula is not None
+        ]
+        if formula_pcs:
+            entry = runtime.table[formula_pcs[0]]
+            # Bits above n_bits must not influence the prediction.
+            for history in (0b0101, 0b1010):
+                assert entry(history) == entry(history | (1 << 20))

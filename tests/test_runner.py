@@ -1,0 +1,130 @@
+"""Trace-replay runner: correctness accounting, warm-up views, hint paths."""
+
+import numpy as np
+import pytest
+
+from repro.bpu.runner import HintRuntime, RunContext, simulate
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.bpu.simple import BimodalPredictor, IdealPredictor, StaticTakenPredictor
+
+
+class TestBasicAccounting:
+    def test_ideal_predictor_is_perfect(self, tiny_trace):
+        result = simulate(tiny_trace, IdealPredictor())
+        assert result.accuracy == 1.0
+        assert result.mispredictions == 0
+        assert result.mpki == 0.0
+
+    def test_counts_conditional_branches_only(self, tiny_trace):
+        result = simulate(tiny_trace, StaticTakenPredictor(True))
+        assert len(result.correct) == tiny_trace.n_conditional
+
+    def test_static_taken_error_matches_taken_rate(self, tiny_trace):
+        result = simulate(tiny_trace, StaticTakenPredictor(True))
+        cond = tiny_trace.is_conditional
+        expected_acc = tiny_trace.taken[cond].mean()
+        assert result.accuracy == pytest.approx(expected_acc)
+
+    def test_mpki_uses_all_instructions(self, tiny_trace):
+        result = simulate(tiny_trace, StaticTakenPredictor(True))
+        expected = 1000.0 * result.mispredictions / tiny_trace.n_instructions
+        assert result.mpki == pytest.approx(expected)
+
+    def test_per_pc_stats_sum(self, tiny_trace):
+        result = simulate(tiny_trace, BimodalPredictor())
+        per_pc = result.per_pc_mispredictions()
+        assert sum(e for e, _ in per_pc.values()) == tiny_trace.n_conditional
+        assert sum(m for _, m in per_pc.values()) == result.mispredictions
+
+    def test_misprediction_reduction_metric(self, tiny_trace):
+        weak = simulate(tiny_trace, StaticTakenPredictor(True))
+        strong = simulate(tiny_trace, scaled_tage_sc_l(64))
+        reduction = strong.misprediction_reduction(weak)
+        assert 0 < reduction <= 100
+
+
+class TestWarmup:
+    def test_warmup_shrinks_measured_region(self, tiny_baseline):
+        warmed = tiny_baseline.with_warmup(0.5)
+        assert warmed.n_conditional < tiny_baseline.n_conditional
+        assert warmed.measured_instructions < tiny_baseline.measured_instructions
+
+    def test_warmup_reduces_cold_mispredictions_rate(self, tiny_baseline):
+        cold = tiny_baseline.mispredictions / tiny_baseline.n_conditional
+        warm_view = tiny_baseline.with_warmup(0.5)
+        warm = warm_view.mispredictions / warm_view.n_conditional
+        assert warm <= cold + 0.01
+
+    def test_zero_warmup_is_identity(self, tiny_baseline):
+        again = tiny_baseline.with_warmup(0.0)
+        assert again.mispredictions == tiny_baseline.mispredictions
+        assert again.measured_instructions == tiny_baseline.measured_instructions
+
+
+class _ConstHintRuntime(HintRuntime):
+    """Covers one PC with a constant prediction."""
+
+    def __init__(self, pc, direction):
+        self.pc = pc
+        self.direction = direction
+
+    def predict(self, pc, ctx):
+        if pc == self.pc:
+            return self.direction
+        return None
+
+
+class TestHintIntegration:
+    def test_hinted_branches_flagged(self, tiny_trace):
+        per_pc = tiny_trace.per_branch_stats()
+        hot_pc = max(per_pc, key=lambda pc: per_pc[pc][0])
+        runtime = _ConstHintRuntime(hot_pc, True)
+        result = simulate(tiny_trace, BimodalPredictor(), runtime=runtime)
+        assert result.hinted.sum() == per_pc[hot_pc][0]
+
+    def test_hint_overrides_predictor(self, tiny_trace):
+        per_pc = tiny_trace.per_branch_stats()
+        # Pick a hot, heavily-taken branch and hint it "never taken":
+        # every taken execution must now mispredict.
+        candidates = [pc for pc, (n, t) in per_pc.items() if n > 20 and t == n]
+        pc = candidates[0]
+        runtime = _ConstHintRuntime(pc, False)
+        result = simulate(tiny_trace, IdealPredictor(), runtime=runtime)
+        assert result.mispredictions == per_pc[pc][0]
+
+    def test_token_ring(self, tiny_trace):
+        class TokenProbe(HintRuntime):
+            wants_tokens = 16
+
+            def __init__(self):
+                self.seen = 0
+
+            def predict(self, pc, ctx):
+                pcs, dirs = ctx.recent_tokens(16)
+                assert len(pcs) == 16 and len(dirs) == 16
+                self.seen += 1
+                return None
+
+        probe = TokenProbe()
+        simulate(tiny_trace.slice(0, 500), BimodalPredictor(), runtime=probe)
+        assert probe.seen > 0
+
+    def test_run_context_history_order(self):
+        ctx = RunContext()
+        ctx.push(0x1, True)
+        ctx.push(0x2, False)
+        ctx.push(0x3, True)
+        assert ctx.history & 0b111 == 0b101
+
+    def test_recent_tokens_most_recent_last(self):
+        ctx = RunContext(token_size=4)
+        for i, taken in enumerate([True, False, True]):
+            ctx.push(0x100 + i * 4, taken)
+        pcs, dirs = ctx.recent_tokens(3)
+        assert pcs.tolist() == [0x100, 0x104, 0x108]
+        assert dirs.tolist() == [1, 0, 1]
+
+    def test_recent_tokens_overflow_raises(self):
+        ctx = RunContext(token_size=4)
+        with pytest.raises(ValueError):
+            ctx.recent_tokens(5)

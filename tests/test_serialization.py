@@ -1,0 +1,61 @@
+"""Hint-placement persistence (the deployable 'updated binary' artifact)."""
+
+import json
+
+import pytest
+
+from repro.bpu.runner import simulate
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.core.serialization import (
+    load_placement,
+    load_runtime,
+    placement_from_dict,
+    placement_to_dict,
+    save_placement,
+)
+
+
+class TestRoundtrip:
+    def test_placement_survives_roundtrip(self, tiny_whisper, tmp_path):
+        _, _, placement, _ = tiny_whisper
+        path = tmp_path / "hints.json"
+        save_placement(placement, path)
+        loaded = load_placement(path)
+        assert loaded.host_of_branch == placement.host_of_branch
+        assert loaded.dropped == placement.dropped
+        assert set(loaded.placements) == set(placement.placements)
+        for block in placement.placements:
+            assert loaded.placements[block] == placement.placements[block]
+
+    def test_loaded_runtime_predicts_identically(
+        self, tiny_whisper, tiny_trace, tmp_path
+    ):
+        _, _, placement, runtime = tiny_whisper
+        path = tmp_path / "hints.json"
+        save_placement(placement, path)
+        reloaded = load_runtime(path)
+        original = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=runtime)
+        restored = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=reloaded)
+        assert original.mispredictions == restored.mispredictions
+
+    def test_document_is_valid_json(self, tiny_whisper, tmp_path):
+        _, _, placement, _ = tiny_whisper
+        path = tmp_path / "hints.json"
+        save_placement(placement, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "whisper-hints"
+        assert data["version"] == 1
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            placement_from_dict({"format": "elf", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError):
+            placement_from_dict({"format": "whisper-hints", "version": 99})
+
+    def test_empty_document(self):
+        placement = placement_from_dict({"format": "whisper-hints", "version": 1})
+        assert placement.n_hints == 0

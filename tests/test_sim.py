@@ -1,0 +1,119 @@
+"""Timing simulator: caches, BTB, cycle accounting, FDIP behaviour."""
+
+import pytest
+
+from repro.bpu.runner import simulate
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.bpu.simple import StaticTakenPredictor
+from repro.sim import SetAssociativeCache, BranchTargetBuffer, SimConfig, simulate_timing
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache(1, 2)  # 1 KB, 2-way, 64B lines: 8 sets
+        assert cache.access(100) is False
+        assert cache.access(100) is True
+
+    def test_lru_within_set(self):
+        cache = SetAssociativeCache(1, 2)
+        n_sets = cache.n_sets
+        a, b, c = 0, n_sets, 2 * n_sets  # same set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b
+        assert cache.probe(a) and cache.probe(c)
+        assert not cache.probe(b)
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = SetAssociativeCache(1, 2)
+        for line in range(cache.n_sets):
+            cache.access(line)
+        assert all(cache.probe(line) for line in range(cache.n_sets))
+
+    def test_stats(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.access(1)
+        cache.reset()
+        assert not cache.probe(1)
+        assert cache.misses == 0
+
+
+class TestBtb:
+    def test_allocation_and_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.access(0x1000) is False
+        assert btb.access(0x1000) is True
+
+    def test_capacity_eviction(self):
+        btb = BranchTargetBuffer(4, 1)  # 4 sets, direct-mapped
+        assert btb.access(0x0) is False
+        assert btb.access(0x0 + 4 * 4) is False  # same set (key = pc>>2)
+        assert btb.access(0x0) is False  # was evicted
+
+
+class TestTiming:
+    def test_ideal_faster_than_baseline(self, tiny_trace, tiny_baseline):
+        base = simulate_timing(tiny_trace, tiny_baseline, name="base")
+        ideal = simulate_timing(tiny_trace, None, name="ideal")
+        assert ideal.cycles < base.cycles
+        assert ideal.speedup_over(base) > 0
+        assert ideal.squash_cycles == 0
+
+    def test_cycles_at_least_width_limited(self, tiny_trace):
+        result = simulate_timing(tiny_trace, None, perfect_icache=True)
+        config = SimConfig()
+        assert result.cycles >= tiny_trace.n_instructions / config.fetch_width
+
+    def test_perfect_icache_removes_frontend_stalls(self, tiny_trace, tiny_baseline):
+        result = simulate_timing(tiny_trace, tiny_baseline, perfect_icache=True)
+        assert result.icache_stall_cycles == 0
+        assert result.icache_misses == 0
+
+    def test_fdip_hides_misses(self, tiny_trace, tiny_baseline):
+        with_fdip = simulate_timing(tiny_trace, tiny_baseline, fdip=True)
+        without = simulate_timing(tiny_trace, tiny_baseline, fdip=False)
+        assert with_fdip.icache_stall_cycles < without.icache_stall_cycles
+        assert with_fdip.icache_misses_covered > 0
+
+    def test_squash_cycles_proportional_to_mispredictions(self, tiny_trace, tiny_baseline):
+        config = SimConfig()
+        result = simulate_timing(tiny_trace, tiny_baseline, config=config)
+        assert result.mispredictions == tiny_baseline.with_warmup(0.0).mispredictions
+        assert result.squash_cycles == result.mispredictions * config.mispredict_penalty
+
+    def test_hint_instructions_charged(self, tiny_trace, tiny_whisper):
+        _, _, placement, _ = tiny_whisper
+        plain = simulate_timing(tiny_trace, None)
+        hinted = simulate_timing(tiny_trace, None, placement=placement)
+        assert hinted.hint_instructions == placement.dynamic_instructions_added(tiny_trace)
+        assert hinted.cycles > plain.cycles
+        assert hinted.instructions == plain.instructions  # useful work unchanged
+
+    def test_whisper_speedup_end_to_end(self, tiny_trace, tiny_baseline, tiny_whisper):
+        _, _, placement, runtime = tiny_whisper
+        optimized = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=runtime)
+        base_timing = simulate_timing(tiny_trace, tiny_baseline, name="base")
+        whisper_timing = simulate_timing(
+            tiny_trace, optimized, placement=placement, name="whisper"
+        )
+        assert whisper_timing.speedup_over(base_timing) > 0
+
+    def test_stall_breakdown_sums_to_cycles(self, tiny_trace, tiny_baseline):
+        result = simulate_timing(tiny_trace, tiny_baseline)
+        parts = result.stall_breakdown()
+        assert sum(parts.values()) == pytest.approx(result.cycles)
+
+    def test_worse_prediction_means_fewer_covered_misses(self, tiny_trace, tiny_baseline):
+        bad = simulate(tiny_trace, StaticTakenPredictor(True))
+        good_timing = simulate_timing(tiny_trace, tiny_baseline)
+        bad_timing = simulate_timing(tiny_trace, bad)
+        # More squashes reset FDIP run-ahead more often.
+        assert bad_timing.icache_misses_covered <= good_timing.icache_misses_covered
+        assert bad_timing.cycles > good_timing.cycles

@@ -1,0 +1,172 @@
+"""TAGE core and TAGE-SC-L composition."""
+
+import numpy as np
+import pytest
+
+from repro.bpu.loop import LoopPredictor
+from repro.bpu.corrector import StatisticalCorrector
+from repro.bpu.mtage import MTageScPredictor
+from repro.bpu.simple import BimodalPredictor
+from repro.bpu.tage import TagePredictor
+from repro.bpu.tage_sc_l import TageScLPredictor
+
+
+def drive(predictor, stream):
+    wrong = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) != taken:
+            wrong += 1
+        predictor.update(pc, taken)
+    return 1.0 - wrong / len(stream)
+
+
+def pattern_stream(pc, pattern, repeats):
+    return [(pc, bool(int(b))) for _ in range(repeats) for b in pattern]
+
+
+class TestTageCore:
+    def test_learns_periodic_pattern(self):
+        stream = pattern_stream(0x1000, "1011011", 2500)
+        assert drive(TagePredictor(64), stream) > 0.99
+
+    def test_learns_global_correlation(self):
+        # Target branch outcome = parity of the last 4 global outcomes.
+        rng = np.random.default_rng(0)
+        hist = 0
+        stream = []
+        for i in range(40000):
+            if i % 4 == 0:
+                pc, taken = 0x3000, bool(bin(hist & 0xF).count("1") % 2)
+            else:
+                pc, taken = 0x4000 + (i % 4) * 64, bool(rng.random() < 0.9)
+            stream.append((pc, taken))
+            hist = ((hist << 1) | taken) & 0xFFFF
+        predictor = TagePredictor(64)
+        wrong = tcount = twrong = 0
+        for pc, taken in stream:
+            pred = predictor.predict(pc)
+            if pc == 0x3000:
+                tcount += 1
+                twrong += pred != taken
+            predictor.update(pc, taken)
+        assert 1 - twrong / tcount > 0.95
+
+    def test_beats_bimodal_on_correlated_stream(self):
+        stream = pattern_stream(0x1000, "110100", 2000)
+        assert drive(TagePredictor(64), stream) > drive(BimodalPredictor(), stream) + 0.2
+
+    def test_biased_branches_near_bimodal(self):
+        rng = np.random.default_rng(1)
+        pcs = rng.integers(0, 300, 30000) * 64 + 0x2000
+        outcomes = rng.random(30000) < 0.95
+        stream = list(zip(pcs.tolist(), outcomes.tolist()))
+        assert drive(TagePredictor(64), stream) > 0.92
+
+    def test_storage_scales_with_budget(self):
+        small = TagePredictor(8)
+        large = TagePredictor(1024)
+        assert large.storage_bits > small.storage_bits
+        assert large.log_entries > small.log_entries
+
+    def test_reset_restores_cold_state(self):
+        predictor = TagePredictor(64)
+        stream = pattern_stream(0x1000, "10", 500)
+        drive(predictor, stream)
+        predictor.reset()
+        # After reset the bimodal is weakly-taken everywhere.
+        assert predictor.predict(0x1000) is True
+
+    def test_update_without_predict_is_safe(self):
+        predictor = TagePredictor(64)
+        predictor.update(0x1234, True)  # cold update path
+        assert isinstance(predictor.predict(0x1234), bool)
+
+    def test_geometric_history_schedule(self):
+        predictor = TagePredictor(64, min_history=6, max_history=1024)
+        assert predictor.histories[0] == 6
+        assert predictor.histories[-1] == 1024
+        assert all(b > a for a, b in zip(predictor.histories, predictor.histories[1:]))
+
+
+class TestLoopPredictor:
+    def test_learns_constant_trip_count(self):
+        loop = LoopPredictor()
+        # trip = 5 takens then a not-taken; train several iterations.
+        for _ in range(6):
+            for i in range(6):
+                taken = i < 5
+                loop.update(0x100, taken, tage_mispredicted=True)
+        # Now confident: predicts taken for 5, not-taken at the 6th.
+        predictions = []
+        for i in range(6):
+            predictions.append(loop.predict(0x100))
+            loop.update(0x100, i < 5, tage_mispredicted=False)
+        assert predictions[:5] == [True] * 5
+        assert predictions[5] is False
+
+    def test_only_allocates_on_misprediction(self):
+        loop = LoopPredictor()
+        loop.update(0x100, True, tage_mispredicted=False)
+        assert loop.predict(0x100) is None
+
+    def test_allocation_suppression(self):
+        loop = LoopPredictor()
+        loop.update(0x100, True, tage_mispredicted=True, allocate=False)
+        assert 0x100 not in loop._table
+
+    def test_capacity_eviction(self):
+        loop = LoopPredictor(n_entries=2)
+        for pc in (1, 2, 3):
+            loop.update(pc, True, tage_mispredicted=True)
+        assert len(loop._table) == 2
+
+    def test_irregular_branch_loses_confidence(self):
+        loop = LoopPredictor()
+        loop.update(0x100, True, tage_mispredicted=True)
+        for trip in (3, 5, 4, 6):
+            for i in range(trip + 1):
+                loop.update(0x100, i < trip, tage_mispredicted=False)
+        assert loop.predict(0x100) is None
+
+
+class TestStatisticalCorrector:
+    def test_tracks_strong_bias_against_weak_tage(self):
+        sc = StatisticalCorrector()
+        for _ in range(200):
+            sc.predict(0x40, tage_pred=False, tage_conf=1)
+            sc.update(0x40, True)
+        assert sc.predict(0x40, tage_pred=False, tage_conf=1) is True
+
+    def test_agrees_with_confident_tage(self):
+        sc = StatisticalCorrector()
+        assert sc.predict(0x40, tage_pred=True, tage_conf=7) is True
+
+
+class TestTageScL:
+    def test_loop_component_engages(self):
+        # Long-trip loop: plain TAGE history can't span it, loop pred can.
+        stream = []
+        for _ in range(400):
+            stream.extend([(0x100, True)] * 40 + [(0x100, False)])
+        assert drive(TageScLPredictor(64), stream) > 0.985
+
+    def test_overall_on_pattern(self):
+        stream = pattern_stream(0x1000, "1011011", 2000)
+        assert drive(TageScLPredictor(64), stream) > 0.99
+
+    def test_storage_accounting(self):
+        predictor = TageScLPredictor(64)
+        assert predictor.storage_bits > 0
+        assert predictor.storage_kb < 64 * 1.2
+
+    def test_allocation_suppression_does_not_crash(self):
+        predictor = TageScLPredictor(64)
+        for i in range(100):
+            predictor.predict(0x500)
+            predictor.update(0x500, bool(i % 3), allocate=False)
+
+    def test_mtage_has_more_capacity(self):
+        mtage = MTageScPredictor()
+        base = TageScLPredictor(64)
+        assert mtage.storage_bits > base.storage_bits
+        assert mtage.tage.histories[-1] > base.tage.histories[-1]

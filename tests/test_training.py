@@ -1,0 +1,122 @@
+"""Substream extraction and candidate selection for Whisper training."""
+
+import pytest
+
+from repro.core.geometric import geometric_lengths
+from repro.core.hashing import fold_history
+from repro.core.training import (
+    BranchTrainingData,
+    collect_training_data,
+    select_candidates,
+)
+
+
+class TestBranchTrainingData:
+    def test_add_sample_routes_by_direction(self):
+        data = BranchTrainingData(pc=0x10, lengths=[8, 16])
+        data.add_sample([3, 7], taken=True)
+        data.add_sample([3, 9], taken=False)
+        data.add_sample([3, 7], taken=True)
+        taken, nottaken = data.tables_for(8)
+        assert taken == {3: 2} and nottaken == {3: 1}
+        taken16, nottaken16 = data.tables_for(16)
+        assert taken16 == {7: 2} and nottaken16 == {9: 1}
+        assert data.executions == 3 and data.taken_total == 2
+
+    def test_merge(self):
+        a = BranchTrainingData(pc=0x10, lengths=[8])
+        b = BranchTrainingData(pc=0x10, lengths=[8])
+        a.add_sample([1], True)
+        b.add_sample([1], True)
+        b.add_sample([2], False)
+        a.merge(b)
+        assert a.executions == 3
+        assert a.taken[8] == {1: 2}
+        assert a.nottaken[8] == {2: 1}
+
+    def test_merge_rejects_mismatched_branch(self):
+        a = BranchTrainingData(pc=0x10, lengths=[8])
+        b = BranchTrainingData(pc=0x20, lengths=[8])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestCollect:
+    def test_sample_counts_match_executions(self, tiny_trace):
+        stats = tiny_trace.per_branch_stats()
+        pcs = sorted(stats, key=lambda pc: -stats[pc][0])[:5]
+        data = collect_training_data([tiny_trace], pcs)
+        for pc in pcs:
+            assert data[pc].executions == stats[pc][0]
+            assert data[pc].taken_total == stats[pc][1]
+
+    def test_tables_cover_all_lengths(self, tiny_trace):
+        stats = tiny_trace.per_branch_stats()
+        pc = max(stats, key=lambda pc: stats[pc][0])
+        data = collect_training_data([tiny_trace], [pc])
+        for length in geometric_lengths():
+            taken, nottaken = data[pc].tables_for(length)
+            total = sum(taken.values()) + sum(nottaken.values())
+            assert total == stats[pc][0]
+
+    def test_hash_keys_are_8_bit(self, tiny_trace):
+        stats = tiny_trace.per_branch_stats()
+        pc = max(stats, key=lambda pc: stats[pc][0])
+        data = collect_training_data([tiny_trace], [pc])
+        for length in geometric_lengths():
+            taken, nottaken = data[pc].tables_for(length)
+            for key in list(taken) + list(nottaken):
+                assert 0 <= key < 256
+
+    def test_folds_match_reference(self, tiny_trace):
+        """Cross-check the streaming fold against a reconstruction."""
+        stats = tiny_trace.per_branch_stats()
+        pc = max(stats, key=lambda pc: stats[pc][0])
+        data = collect_training_data([tiny_trace], [pc], lengths=[21])
+
+        # Rebuild by hand.
+        history = 0
+        expected = {}
+        for i, event_pc, taken in tiny_trace.conditional_events():
+            if event_pc == pc:
+                key = fold_history(history, 21)
+                expected.setdefault(key, [0, 0])
+                expected[key][0 if taken else 1] += 1
+            history = ((history << 1) | int(taken)) & ((1 << 1024) - 1)
+        taken_table, nottaken_table = data[pc].tables_for(21)
+        assert taken_table == {k: v[0] for k, v in expected.items() if v[0]}
+        assert nottaken_table == {k: v[1] for k, v in expected.items() if v[1]}
+
+    def test_multiple_traces_accumulate(self, tiny_trace, tiny_trace_alt):
+        stats0 = tiny_trace.per_branch_stats()
+        stats1 = tiny_trace_alt.per_branch_stats()
+        common = [pc for pc in stats0 if pc in stats1][:3]
+        data = collect_training_data([tiny_trace, tiny_trace_alt], common)
+        for pc in common:
+            assert data[pc].executions == stats0[pc][0] + stats1[pc][0]
+
+
+class TestSelectCandidates:
+    def test_thresholds(self):
+        stats = {
+            0x10: (100, 20),
+            0x20: (100, 0),   # never mispredicts
+            0x30: (2, 2),     # too few executions
+            0x40: (50, 5),
+        }
+        chosen = select_candidates(stats, min_mispredictions=1, min_executions=4)
+        assert chosen == [0x10, 0x40]
+
+    def test_sorted_by_mispredictions_desc(self):
+        stats = {0x10: (100, 5), 0x20: (100, 50), 0x30: (100, 20)}
+        assert select_candidates(stats) == [0x20, 0x30, 0x10]
+
+    def test_max_candidates(self):
+        stats = {pc: (100, pc) for pc in range(1, 20)}
+        chosen = select_candidates(stats, max_candidates=5)
+        assert len(chosen) == 5
+        assert chosen[0] == 19  # most mispredicting first
+
+    def test_tie_break_is_deterministic(self):
+        stats = {0x30: (10, 5), 0x10: (10, 5), 0x20: (10, 5)}
+        assert select_candidates(stats) == [0x10, 0x20, 0x30]

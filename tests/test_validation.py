@@ -1,0 +1,71 @@
+"""Workload structural health metrics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.validation import (
+    RecurrenceReport,
+    check_workload,
+    context_recurrence,
+    follower_depth_distribution,
+    history_entropy,
+    misprediction_flatness,
+)
+
+
+class TestEntropy:
+    def test_bounds(self, tiny_trace):
+        entropy = history_entropy(tiny_trace, window=12)
+        assert 0.0 <= entropy <= 12.0
+
+    def test_datacenter_history_is_low_entropy(self, tiny_trace):
+        # The core calibration property: far below the uniform bound.
+        entropy = history_entropy(tiny_trace, window=16)
+        assert entropy < 12.0
+
+    def test_constant_stream_zero_entropy(self, tiny_trace):
+        import copy
+
+        trace = tiny_trace.slice(0, 2000)
+        trace.taken = np.ones_like(trace.taken)
+        assert history_entropy(trace, window=8) == pytest.approx(0.0)
+
+    def test_window_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            history_entropy(tiny_trace, window=0)
+        with pytest.raises(ValueError):
+            history_entropy(tiny_trace, window=63)
+
+
+class TestRecurrence:
+    def test_report_fields(self, tiny_trace):
+        report = context_recurrence(tiny_trace, min_executions=10)
+        assert isinstance(report, RecurrenceReport)
+        if report.n_branches:
+            assert 0.0 <= report.median_recurring_fraction <= 1.0
+            assert report.median_distinct_contexts <= report.median_executions
+
+    def test_empty_band(self, tiny_trace):
+        report = context_recurrence(tiny_trace, min_depth=2000, max_depth=3000)
+        assert report.n_branches == 0
+
+
+class TestDistributions:
+    def test_depth_distribution_sums_to_100(self, tiny_trace):
+        dist = follower_depth_distribution(tiny_trace)
+        assert sum(dist.values()) == pytest.approx(100.0)
+
+    def test_flatness_metric(self, tiny_baseline):
+        share = misprediction_flatness(tiny_baseline)
+        assert 0 < share <= 100.0
+
+
+class TestHealthCheck:
+    def test_check_workload(self, tiny_trace, tiny_baseline):
+        health = check_workload(tiny_trace, tiny_baseline)
+        assert 0.0 <= health.entropy_utilisation <= 1.0
+        assert health.top50_share is not None
+
+    def test_check_without_result(self, tiny_trace):
+        health = check_workload(tiny_trace)
+        assert health.top50_share is None

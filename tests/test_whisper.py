@@ -1,0 +1,120 @@
+"""WhisperOptimizer end-to-end: training, acceptance, hints, deployment."""
+
+import pytest
+
+from repro.bpu.runner import simulate
+from repro.bpu.scaling import scaled_tage_sc_l
+from repro.core.geometric import geometric_lengths
+from repro.core.hints import BIAS_NONE
+from repro.core.whisper import WhisperConfig, WhisperOptimizer
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = WhisperConfig()
+        assert config.min_history == 8
+        assert config.max_history == 1024
+        assert config.num_lengths == 16
+        assert config.hash_bits == 8
+        assert len(config.ops) == 4
+        assert config.hint_buffer_entries == 32
+        assert config.explore_fraction == 0.001
+
+    def test_lengths_match_series(self):
+        assert WhisperConfig().lengths() == geometric_lengths()
+
+
+class TestTraining:
+    def test_produces_hints(self, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        assert trained.n_hints > 0
+        assert trained.candidates_considered >= trained.n_hints
+        assert trained.training_seconds > 0
+        assert trained.work_units > 0
+
+    def test_hints_beat_baseline_on_profile(self, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        for hint in trained.hints.values():
+            assert hint.predicted_mispredictions < hint.baseline_mispredictions
+
+    def test_lengths_come_from_series(self, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        series = geometric_lengths()
+        for hint in trained.hints.values():
+            assert hint.length == series[hint.length_index]
+
+    def test_expected_reduction_positive(self, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        assert trained.expected_misprediction_reduction > 0
+
+    def test_brhint_conversion(self, tiny_whisper):
+        _, trained, _, _ = tiny_whisper
+        for hint in list(trained.hints.values())[:25]:
+            brhint = hint.to_brhint(pc_offset=5)
+            assert brhint.pc_offset == 5
+            assert brhint.history_index == hint.length_index
+            if brhint.bias == BIAS_NONE:
+                assert brhint.formula() == hint.result.formula
+
+    def test_training_is_deterministic(self, tiny_profile):
+        a = WhisperOptimizer().train(tiny_profile)
+        b = WhisperOptimizer().train(tiny_profile)
+        assert set(a.hints) == set(b.hints)
+        for pc in a.hints:
+            assert a.hints[pc].result.mispredictions == b.hints[pc].result.mispredictions
+
+
+class TestDeployment:
+    def test_reduces_mispredictions_on_profile_input(
+        self, tiny_trace, tiny_baseline, tiny_whisper
+    ):
+        _, _, _, runtime = tiny_whisper
+        optimized = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=runtime)
+        assert optimized.mispredictions < tiny_baseline.mispredictions
+        assert optimized.misprediction_reduction(tiny_baseline) > 10.0
+
+    def test_reduces_mispredictions_cross_input(self, tiny_trace_alt, tiny_whisper):
+        _, _, _, runtime = tiny_whisper
+        baseline = simulate(tiny_trace_alt, scaled_tage_sc_l(64))
+        optimized = simulate(tiny_trace_alt, scaled_tage_sc_l(64), runtime=runtime)
+        assert optimized.misprediction_reduction(baseline) > 0.0
+
+    def test_hinted_share_nontrivial(self, tiny_trace, tiny_whisper):
+        _, _, _, runtime = tiny_whisper
+        optimized = simulate(tiny_trace, scaled_tage_sc_l(64), runtime=runtime)
+        assert optimized.hinted.mean() > 0.02
+
+    def test_optimize_convenience(self, tiny_profile, tiny_program):
+        optimizer = WhisperOptimizer()
+        trained, placement, runtime = optimizer.optimize(tiny_profile, tiny_program)
+        assert trained.n_hints >= placement.n_hints > 0
+        assert runtime.buffer.capacity == 32
+
+
+class TestVariants:
+    def test_smaller_fraction_explores_fewer(self, tiny_profile):
+        small = WhisperOptimizer(WhisperConfig(explore_fraction=0.001)).train(tiny_profile)
+        large = WhisperOptimizer(WhisperConfig(explore_fraction=0.01)).train(tiny_profile)
+        assert large.work_units > small.work_units
+
+    def test_exhaustive_never_worse_on_profile(self, tiny_profile):
+        small = WhisperOptimizer(WhisperConfig(explore_fraction=0.001)).train(tiny_profile)
+        # Compare per-branch profile mispredictions for common hints.
+        big = WhisperOptimizer(WhisperConfig(explore_fraction=0.05)).train(tiny_profile)
+        for pc in set(small.hints) & set(big.hints):
+            assert (
+                big.hints[pc].predicted_mispredictions
+                <= small.hints[pc].predicted_mispredictions
+            )
+
+    def test_rombf_ops_variant_trains(self, tiny_profile):
+        from repro.core.formulas import ROMBF_OPS
+
+        config = WhisperConfig(ops=ROMBF_OPS, with_invert=False, explore_fraction=1.0)
+        trained = WhisperOptimizer(config).train(tiny_profile)
+        assert trained.n_hints > 0
+
+    def test_max_candidates_cap(self, tiny_profile):
+        config = WhisperConfig(max_candidates=10)
+        trained = WhisperOptimizer(config).train(tiny_profile)
+        assert trained.candidates_considered <= 10

@@ -1,0 +1,174 @@
+"""Program synthesis, trace generation, and the application registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import clear_caches, generate_trace, get_program
+from repro.workloads.program import INSTRUCTION_BYTES, build_program
+from repro.workloads.registry import (
+    DATACENTER_APPS,
+    SPEC_APPS,
+    datacenter_specs,
+    get_spec,
+    spec_benchmark_specs,
+)
+from repro.workloads.spec import AppSpec
+
+
+class TestProgramSynthesis:
+    def test_deterministic_in_seed(self, tiny_spec):
+        a = build_program(tiny_spec)
+        b = build_program(tiny_spec)
+        assert np.array_equal(a.block_sizes, b.block_sizes)
+        assert np.array_equal(a.block_addrs, b.block_addrs)
+        assert np.array_equal(a.is_conditional, b.is_conditional)
+
+    def test_function_chains_are_contiguous(self, tiny_program):
+        for func in tiny_program.functions:
+            blocks = list(func.blocks)
+            assert blocks == list(range(blocks[0], blocks[0] + func.n_blocks))
+            assert all(
+                tiny_program.func_of_block[b] == func.index for b in blocks
+            )
+
+    def test_last_block_of_function_unconditional(self, tiny_program):
+        for func in tiny_program.functions:
+            last = func.first_block + func.n_blocks - 1
+            assert not tiny_program.is_conditional[last]
+
+    def test_conditional_blocks_have_behaviors(self, tiny_program):
+        for block in range(tiny_program.n_blocks):
+            behavior = tiny_program.behaviors[block]
+            if tiny_program.is_conditional[block]:
+                assert behavior is not None
+            else:
+                assert behavior is None
+
+    def test_branch_pc_is_last_instruction(self, tiny_program):
+        pcs = tiny_program.branch_pcs
+        addrs = tiny_program.block_addrs
+        sizes = tiny_program.block_sizes
+        assert np.array_equal(pcs, addrs + (sizes - 1) * INSTRUCTION_BYTES)
+
+    def test_block_addresses_strictly_increase(self, tiny_program):
+        assert np.all(np.diff(tiny_program.block_addrs) > 0)
+
+    def test_block_of_pc_roundtrip(self, tiny_program):
+        for block in (0, 5, tiny_program.n_blocks - 1):
+            pc = int(tiny_program.branch_pcs[block])
+            assert tiny_program.block_of_pc(pc) == block
+
+    def test_block_of_pc_unknown(self, tiny_program):
+        assert tiny_program.block_of_pc(0x1) is None
+
+    def test_predecessors_in_chain(self, tiny_program):
+        func = tiny_program.functions[1]
+        block = func.first_block + min(3, func.n_blocks - 1)
+        preds = tiny_program.predecessors_in_chain(block)
+        assert preds == list(range(func.first_block, block))
+        assert tiny_program.predecessors_in_chain(func.first_block) == []
+
+    def test_requests_reference_valid_functions(self, tiny_program):
+        assert len(tiny_program.requests) == tiny_program.spec.n_requests
+        for skeleton in tiny_program.requests:
+            assert skeleton.min() >= 0
+            assert skeleton.max() < tiny_program.n_functions
+
+    def test_footprint_respected(self, tiny_program):
+        span = int(tiny_program.block_addrs[-1]) - 0x400000
+        assert span <= tiny_program.spec.footprint_bytes * 1.3
+
+
+class TestTraceGeneration:
+    def test_trace_length(self, tiny_trace):
+        assert tiny_trace.n_events == 14_000
+
+    def test_deterministic(self, tiny_spec, tiny_trace):
+        again = generate_trace(tiny_spec, 0, tiny_trace.n_events, use_cache=False)
+        assert np.array_equal(tiny_trace.block_ids, again.block_ids)
+        assert np.array_equal(tiny_trace.taken, again.taken)
+
+    def test_inputs_differ(self, tiny_trace, tiny_trace_alt):
+        assert not np.array_equal(tiny_trace.block_ids, tiny_trace_alt.block_ids)
+
+    def test_block_ids_valid(self, tiny_trace, tiny_program):
+        assert tiny_trace.block_ids.min() >= 0
+        assert tiny_trace.block_ids.max() < tiny_program.n_blocks
+
+    def test_unconditional_always_taken(self, tiny_trace):
+        uncond = ~tiny_trace.is_conditional
+        assert tiny_trace.taken[uncond].all()
+
+    def test_conditional_mix(self, tiny_trace):
+        share = tiny_trace.n_conditional / tiny_trace.n_events
+        assert 0.4 < share < 0.9
+
+    def test_instruction_count_consistent(self, tiny_trace, tiny_program):
+        expected = int(tiny_program.block_sizes[tiny_trace.block_ids].sum())
+        assert tiny_trace.n_instructions == expected
+
+    def test_cache_returns_same_object(self, tiny_spec):
+        a = generate_trace(tiny_spec, 0, 14_000)
+        b = generate_trace(tiny_spec, 0, 14_000)
+        assert a is b
+
+    def test_taken_rate_reasonable(self, tiny_trace):
+        rate = tiny_trace.taken.mean()
+        assert 0.5 < rate < 0.95
+
+
+class TestTraceViews:
+    def test_slice(self, tiny_trace):
+        sub = tiny_trace.slice(100, 600)
+        assert sub.n_events == 500
+        assert np.array_equal(sub.block_ids, tiny_trace.block_ids[100:600])
+
+    def test_per_branch_stats_totals(self, tiny_trace):
+        stats = tiny_trace.per_branch_stats()
+        assert sum(n for n, _ in stats.values()) == tiny_trace.n_conditional
+        for pc, (execs, taken) in stats.items():
+            assert 0 <= taken <= execs
+
+    def test_mpki_helper(self, tiny_trace):
+        assert tiny_trace.mpki(0) == 0.0
+        expected = 1000.0 * 50 / tiny_trace.n_instructions
+        assert tiny_trace.mpki(50) == pytest.approx(expected)
+
+    def test_conditional_events_iteration(self, tiny_trace):
+        events = list(tiny_trace.conditional_events())
+        assert len(events) == tiny_trace.n_conditional
+        index, pc, taken = events[0]
+        assert tiny_trace.is_conditional[index]
+
+
+class TestRegistry:
+    def test_all_datacenter_apps_present(self):
+        assert len(DATACENTER_APPS) == 12
+        specs = datacenter_specs()
+        assert [s.name for s in specs] == list(DATACENTER_APPS)
+
+    def test_all_spec_apps_present(self):
+        assert len(SPEC_APPS) == 10
+        assert [s.name for s in spec_benchmark_specs()] == list(SPEC_APPS)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("nginx")
+
+    def test_mixes_are_normalised(self):
+        for spec in datacenter_specs() + spec_benchmark_specs():
+            assert sum(spec.behavior_mix.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_categories(self):
+        assert get_spec("mysql").category == "datacenter"
+        assert get_spec("leela").category == "spec"
+        # gcc is configured data-center-flat despite being a SPEC app.
+        assert get_spec("gcc").zipf_exponent < 1.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec(name="x", behavior_mix={"always": 0.5})
+        with pytest.raises(ValueError):
+            AppSpec(name="x", category="hpc")
+        with pytest.raises(ValueError):
+            AppSpec(name="x", min_blocks=5, max_blocks=3)
