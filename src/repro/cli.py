@@ -15,6 +15,14 @@ Commands
     recurrence, misprediction flatness).
 ``report``
     Assemble EXPERIMENTS.md from saved benchmark results.
+``run-all [--jobs N] [--figures a,b,...]``
+    Regenerate the whole suite (or a subset) through the orchestrator:
+    per-app pipelines run in parallel across ``--jobs`` processes, and
+    every intermediate persists in the artifact cache, so repeat runs
+    are cache-hit dominated.  Writes a run manifest next to the figure
+    outputs.
+``cache {stats,clear}``
+    Inspect or empty the on-disk artifact cache.
 """
 
 from __future__ import annotations
@@ -23,34 +31,6 @@ import argparse
 import pathlib
 import sys
 from typing import Optional, Sequence
-
-_FIGURES = {
-    "fig01": ("fig01_limit_study", "run"),
-    "fig02": ("fig02_mpki", "run"),
-    "fig03": ("fig03_classification", "run"),
-    "fig04": ("fig04_prior_work", "run"),
-    "fig05": ("fig05_cdf", "run"),
-    "fig06": ("fig06_history_lengths", "run"),
-    "fig07": ("fig07_op_distribution", "run"),
-    "fig08": ("fig08_gate_delay", "run"),
-    "fig10": ("fig10_usage_model", "run"),
-    "fig11": ("fig11_encoding", "run"),
-    "fig12": ("fig12_speedup", "run"),
-    "fig13": ("fig13_reduction", "run"),
-    "fig14": ("fig14_breakdown", "run"),
-    "fig15": ("fig15_randomized", "run"),
-    "fig16": ("fig16_training_time", "run"),
-    "fig17": ("fig17_inputs", "run"),
-    "fig18": ("fig18_merging", "run"),
-    "fig19": ("fig19_overhead", "run"),
-    "fig20": ("fig20_128kb", "run"),
-    "fig21": ("fig21_predictor_size", "run"),
-    "fig22": ("fig22_warmup", "run"),
-    "fig23": ("fig23_trace_length", "run"),
-    "table1": ("tables", "run_table1"),
-    "table2": ("tables", "run_table2"),
-    "table3": ("tables", "run_table3"),
-}
 
 
 def _cmd_apps(args: argparse.Namespace) -> int:
@@ -68,18 +48,24 @@ def _cmd_apps(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    if args.name not in _FIGURES:
-        print(f"unknown figure {args.name!r}; choose from {', '.join(sorted(_FIGURES))}")
+    from .experiments import FIGURES
+
+    if args.name not in FIGURES:
+        print(f"unknown figure {args.name!r}; choose from {', '.join(sorted(FIGURES))}")
         return 2
-    module_name, fn_name = _FIGURES[args.name]
+    module_name, fn_name = FIGURES[args.name]
     import importlib
 
     from .experiments.runner import ExperimentContext
+    from .orchestrator.store import ArtifactStore
 
     module = importlib.import_module(f".experiments.{module_name}", package="repro")
-    ctx = ExperimentContext(n_events=args.events)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    ctx = ExperimentContext(n_events=args.events, store=store)
     result = getattr(module, fn_name)(ctx)
     print(result.to_text())
+    if store is not None:
+        store.persist_stats()
     return 0
 
 
@@ -139,6 +125,77 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from .orchestrator import runall
+
+    figures = None
+    if args.figures:
+        figures = [name.strip() for name in args.figures.split(",") if name.strip()]
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        manifest, texts = runall.run_all(
+            figures=figures,
+            jobs=args.jobs,
+            n_events=args.events,
+            cache_dir=cache_dir,
+            results_dir=args.results,
+            log=print,
+        )
+    except ValueError as error:
+        print(error)
+        return 2
+    for name in manifest.figures:
+        if name in texts:
+            print()
+            print(texts[name])
+    print()
+    for line in manifest.summary_lines():
+        print(line)
+    if args.results:
+        print(f"manifest: {pathlib.Path(args.results) / 'manifest.json'}")
+    return 0 if manifest.counts().get("failed", 0) == 0 else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .orchestrator.metrics import format_bytes, hit_rate
+    from .orchestrator.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "clear":
+        try:
+            removed = store.clear(kind=args.kind)
+        except KeyError as error:
+            print(error.args[0])
+            return 2
+        print(f"removed {removed} cached artifacts from {store.root}")
+        return 0
+
+    usage = store.disk_usage()
+    total_entries = sum(count for count, _ in usage.values())
+    total_bytes = sum(size for _, size in usage.values())
+    print(f"cache directory: {store.root}")
+    print(f"{total_entries} artifacts, {format_bytes(total_bytes)}")
+    for kind, (count, size) in sorted(usage.items()):
+        print(f"  {kind:10s} {count:5d} entries  {format_bytes(size):>10s}")
+    stats = store.read_persistent_stats()
+    if stats:
+        print(
+            f"lifetime counters: {stats.get('hits', 0)} hits / "
+            f"{stats.get('misses', 0)} misses "
+            f"({100 * hit_rate(stats):.0f}% hit rate), "
+            f"{stats.get('puts', 0)} writes"
+        )
+        for kind, counts in stats.get("kinds", {}).items():
+            print(
+                f"  {kind:10s} {counts.get('hits', 0):6d} hits  "
+                f"{counts.get('misses', 0):6d} misses  "
+                f"{counts.get('puts', 0):6d} puts"
+            )
+    else:
+        print("lifetime counters: none recorded yet")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Whisper (MICRO 2022) reproduction toolkit"
@@ -152,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one paper table/figure")
     figure.add_argument("name", help="e.g. fig13, table1")
     figure.add_argument("--events", type=int, default=None, help="trace length per app")
+    figure.add_argument(
+        "--cache-dir", default=None,
+        help="persist/reuse intermediates in this artifact cache",
+    )
     figure.set_defaults(func=_cmd_figure)
 
     optimize = sub.add_parser("optimize", help="run Whisper on one application")
@@ -168,6 +229,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.set_defaults(func=_cmd_report)
+
+    from .orchestrator.store import DEFAULT_CACHE_DIR
+
+    run_all = sub.add_parser(
+        "run-all", help="regenerate the experiment suite via the orchestrator"
+    )
+    run_all.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    run_all.add_argument(
+        "--figures", default=None,
+        help="comma-separated subset, e.g. fig02,fig13 (default: everything)",
+    )
+    run_all.add_argument("--events", type=int, default=None, help="trace length per app")
+    run_all.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, help="artifact cache directory"
+    )
+    run_all.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (figures recompute everything)",
+    )
+    run_all.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory for figure texts and the run manifest",
+    )
+    run_all.set_defaults(func=_cmd_run_all)
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, help="artifact cache directory"
+    )
+    cache.add_argument(
+        "--kind", default=None,
+        help="restrict `clear` to one artifact kind (trace, prediction, ...)",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

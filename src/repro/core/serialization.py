@@ -20,9 +20,13 @@ import json
 import pathlib
 from typing import Dict, List, Tuple, Union
 
+from .formulas import FormulaTree
 from .hint_buffer import WhisperRuntime
 from .hints import BrHint
 from .injection import HintPlacement
+from .rombf import RombfResult
+from .search import SearchResult
+from .whisper import TrainedBranch, WhisperResult
 
 FORMAT_VERSION = 1
 
@@ -81,3 +85,121 @@ def load_runtime(path: PathLike, buffer_entries: int = 32) -> WhisperRuntime:
     """One-step deployment: load a placement and build its runtime."""
     placement = load_placement(path)
     return WhisperRuntime(placement.placements, buffer_entries=buffer_entries)
+
+
+# ----------------------------------------------------------------------
+# Trained-optimizer artifacts (used by repro.orchestrator.store)
+# ----------------------------------------------------------------------
+#
+# The artifact store persists whole training outcomes, not just the
+# deployable placement, so figures that report training statistics
+# (candidates, work units, per-branch search results) reproduce exactly
+# from cache.  Formulas are stored by raw structure (op tuple + invert
+# mux) rather than the packed brhint encoding: the packed form depends
+# on the allowed-op set, which is a config detail, not artifact content.
+
+
+def formula_to_dict(formula: FormulaTree) -> dict:
+    return {
+        "ops": list(formula.ops),
+        "invert": formula.invert,
+        "n_inputs": formula.n_inputs,
+    }
+
+
+def formula_from_dict(data: dict) -> FormulaTree:
+    return FormulaTree(
+        ops=tuple(int(op) for op in data["ops"]),
+        invert=bool(data["invert"]),
+        n_inputs=int(data["n_inputs"]),
+    )
+
+
+def search_result_to_dict(result: SearchResult) -> dict:
+    return {
+        "formula": None if result.formula is None else formula_to_dict(result.formula),
+        "mispredictions": result.mispredictions,
+        "bias": result.bias,
+        "explored": result.explored,
+        "search_seconds": result.search_seconds,
+    }
+
+
+def search_result_from_dict(data: dict) -> SearchResult:
+    formula = data.get("formula")
+    return SearchResult(
+        formula=None if formula is None else formula_from_dict(formula),
+        mispredictions=int(data["mispredictions"]),
+        bias=data.get("bias"),
+        explored=int(data.get("explored", 0)),
+        search_seconds=float(data.get("search_seconds", 0.0)),
+    )
+
+
+def trained_branch_to_dict(branch: TrainedBranch) -> dict:
+    return {
+        "pc": branch.pc,
+        "length": branch.length,
+        "length_index": branch.length_index,
+        "result": search_result_to_dict(branch.result),
+        "baseline_mispredictions": branch.baseline_mispredictions,
+        "executions": branch.executions,
+    }
+
+
+def trained_branch_from_dict(data: dict) -> TrainedBranch:
+    return TrainedBranch(
+        pc=int(data["pc"]),
+        length=int(data["length"]),
+        length_index=int(data["length_index"]),
+        result=search_result_from_dict(data["result"]),
+        baseline_mispredictions=int(data["baseline_mispredictions"]),
+        executions=int(data["executions"]),
+    )
+
+
+def whisper_result_to_dict(result: WhisperResult) -> dict:
+    return {
+        "hints": [trained_branch_to_dict(b) for b in result.hints.values()],
+        "candidates_considered": result.candidates_considered,
+        "training_seconds": result.training_seconds,
+        "formulas_explored": result.formulas_explored,
+        "work_units": result.work_units,
+    }
+
+
+def whisper_result_from_dict(data: dict) -> WhisperResult:
+    branches = [trained_branch_from_dict(b) for b in data["hints"]]
+    return WhisperResult(
+        hints={b.pc: b for b in branches},
+        candidates_considered=int(data.get("candidates_considered", 0)),
+        training_seconds=float(data.get("training_seconds", 0.0)),
+        formulas_explored=int(data.get("formulas_explored", 0)),
+        work_units=int(data.get("work_units", 0)),
+    )
+
+
+def rombf_result_to_dict(result: RombfResult) -> dict:
+    return {
+        "n_bits": result.n_bits,
+        "annotations": [
+            {"pc": pc, "result": search_result_to_dict(res)}
+            for pc, res in result.annotations.items()
+        ],
+        "candidates_considered": result.candidates_considered,
+        "training_seconds": result.training_seconds,
+        "work_units": result.work_units,
+    }
+
+
+def rombf_result_from_dict(data: dict) -> RombfResult:
+    return RombfResult(
+        n_bits=int(data["n_bits"]),
+        annotations={
+            int(entry["pc"]): search_result_from_dict(entry["result"])
+            for entry in data["annotations"]
+        },
+        candidates_considered=int(data.get("candidates_considered", 0)),
+        training_seconds=float(data.get("training_seconds", 0.0)),
+        work_units=int(data.get("work_units", 0)),
+    )

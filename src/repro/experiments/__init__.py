@@ -1,5 +1,43 @@
 """Experiment harness: one module per paper table/figure."""
 
+from typing import Dict, Tuple
+
+#: CLI/orchestrator registry: figure name -> (module, entry function).
+FIGURES: Dict[str, Tuple[str, str]] = {
+    "fig01": ("fig01_limit_study", "run"),
+    "fig02": ("fig02_mpki", "run"),
+    "fig03": ("fig03_classification", "run"),
+    "fig04": ("fig04_prior_work", "run"),
+    "fig05": ("fig05_cdf", "run"),
+    "fig06": ("fig06_history_lengths", "run"),
+    "fig07": ("fig07_op_distribution", "run"),
+    "fig08": ("fig08_gate_delay", "run"),
+    "fig10": ("fig10_usage_model", "run"),
+    "fig11": ("fig11_encoding", "run"),
+    "fig12": ("fig12_speedup", "run"),
+    "fig13": ("fig13_reduction", "run"),
+    "fig14": ("fig14_breakdown", "run"),
+    "fig15": ("fig15_randomized", "run"),
+    "fig16": ("fig16_training_time", "run"),
+    "fig17": ("fig17_inputs", "run"),
+    "fig18": ("fig18_merging", "run"),
+    "fig19": ("fig19_overhead", "run"),
+    "fig20": ("fig20_128kb", "run"),
+    "fig21": ("fig21_predictor_size", "run"),
+    "fig22": ("fig22_warmup", "run"),
+    "fig23": ("fig23_trace_length", "run"),
+    "table1": ("tables", "run_table1"),
+    "table2": ("tables", "run_table2"),
+    "table3": ("tables", "run_table3"),
+}
+
+
+def figure_slug(name: str) -> str:
+    """The results-file slug for one figure (matches benchmarks/results)."""
+    module_name, _ = FIGURES[name]
+    return name if module_name == "tables" else module_name
+
+
 from . import (
     ablations,
     fig01_limit_study,
@@ -30,7 +68,9 @@ from .runner import ExperimentContext, FigureResult, current_scale, global_conte
 
 __all__ = [
     "ExperimentContext",
+    "FIGURES",
     "FigureResult",
     "current_scale",
+    "figure_slug",
     "global_context",
 ]

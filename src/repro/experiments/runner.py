@@ -5,6 +5,14 @@ Every figure/table module exposes ``run(ctx) -> FigureResult``.  The
 baseline predictor runs, profiles, trained optimizers — so the full
 benchmark suite shares work instead of re-simulating per figure.
 
+Caching is two-level: the in-process dictionaries are the L1, and an
+optional :class:`~repro.orchestrator.store.ArtifactStore` (the L2)
+persists the same artifacts on disk under content-addressed keys, so
+separate processes — repeated CLI invocations, parallel ``run-all``
+workers — reuse each other's work.  Set ``REPRO_CACHE_DIR`` (or pass
+``store=``) to enable the L2; without it the context behaves exactly as
+before.
+
 Scale control: the ``REPRO_SCALE`` environment variable selects the
 trace length per application (``small`` / ``medium`` / ``full``).  The
 paper simulates 100 M instructions per app; even ``full`` here is a few
@@ -15,8 +23,8 @@ recorded number came from.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..branchnet import BranchNetOptimizer, BranchNetResult, BranchNetRuntime
 from ..bpu import MTageScPredictor, PredictionResult, simulate
@@ -24,6 +32,8 @@ from ..bpu.scaling import scaled_tage_sc_l
 from ..core.rombf import RombfOptimizer, RombfResult
 from ..core.whisper import WhisperConfig, WhisperOptimizer, WhisperResult
 from ..core.injection import HintPlacement
+from ..orchestrator.keys import artifact_key
+from ..orchestrator.store import ArtifactStore
 from ..profiling.profile import BranchProfile
 from ..profiling.trace import Trace
 from ..sim import SimResult, simulate_timing
@@ -88,21 +98,61 @@ class ExperimentContext:
     #: sweeps this explicitly via ``PredictionResult.with_warmup``.
     warmup = 0.3
 
-    def __init__(self, n_events: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_events: Optional[int] = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
         self.n_events = n_events if n_events is not None else events_per_app()
+        #: L2 artifact store; None keeps the context purely in-process.
+        self.store = store if store is not None else ArtifactStore.from_env()
+        self._traces: Dict[Tuple, Trace] = {}
         self._baseline: Dict[Tuple, PredictionResult] = {}
         self._profiles: Dict[Tuple, BranchProfile] = {}
         self._whisper: Dict[Tuple, Tuple[WhisperResult, HintPlacement]] = {}
+        # One dict per optimized-run family: distinct key schemes must
+        # not share a namespace, or a future change to one scheme could
+        # silently collide with another.
         self._whisper_runs: Dict[Tuple, PredictionResult] = {}
+        self._rombf_runs: Dict[Tuple, PredictionResult] = {}
+        self._branchnet_runs: Dict[Tuple, PredictionResult] = {}
         self._rombf: Dict[Tuple, RombfResult] = {}
         self._branchnet: Dict[Tuple, BranchNetResult] = {}
         self._timing: Dict[Tuple, SimResult] = {}
 
     # ------------------------------------------------------------------
+    # L2 plumbing
+    # ------------------------------------------------------------------
+    def _store_key(self, kind: str, app: str, **fields) -> str:
+        """Content key: the full app spec plus the request parameters."""
+        return artifact_key(kind, spec=get_spec(app), **fields)
+
+    def _store_get(self, kind: str, key: Optional[str]):
+        if self.store is None or key is None:
+            return None
+        return self.store.get(kind, key, trace_provider=self.trace)
+
+    def _store_put(self, kind: str, key: Optional[str], obj) -> None:
+        if self.store is not None and key is not None:
+            self.store.put(kind, key, obj)
+
+    # ------------------------------------------------------------------
     # Workload side
     # ------------------------------------------------------------------
     def trace(self, app: str, input_id: int = 0, n_events: Optional[int] = None) -> Trace:
-        return generate_trace(get_spec(app), input_id, n_events or self.n_events)
+        n = n_events or self.n_events
+        key = (app, input_id, n)
+        if key not in self._traces:
+            skey = None
+            trace = None
+            if self.store is not None:
+                skey = self._store_key("trace", app, input_id=input_id, n_events=n)
+                trace = self.store.get("trace", skey)
+            if trace is None:
+                trace = generate_trace(get_spec(app), input_id, n)
+                self._store_put("trace", skey, trace)
+            self._traces[key] = trace
+        return self._traces[key]
 
     def program(self, app: str):
         return get_program(get_spec(app))
@@ -125,17 +175,40 @@ class ExperimentContext:
         input_id: int = 0,
         n_events: Optional[int] = None,
     ) -> PredictionResult:
-        key = ("base", app, label_kb, input_id, n_events or self.n_events)
+        n = n_events or self.n_events
+        key = ("base", app, label_kb, input_id, n)
         if key not in self._baseline:
-            trace = self.trace(app, input_id, n_events)
-            self._baseline[key] = simulate(trace, scaled_tage_sc_l(label_kb))
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "prediction", app, variant="baseline", predictor="tage-sc-l",
+                    label_kb=label_kb, input_id=input_id, n_events=n,
+                )
+                result = self._store_get("prediction", skey)
+            if result is None:
+                trace = self.trace(app, input_id, n)
+                result = simulate(trace, scaled_tage_sc_l(label_kb))
+                self._store_put("prediction", skey, result)
+            self._baseline[key] = result
         return self._baseline[key].with_warmup(self.warmup)
 
     def mtage(self, app: str, input_id: int = 0) -> PredictionResult:
         key = ("mtage", app, input_id, self.n_events)
         if key not in self._baseline:
-            trace = self.trace(app, input_id)
-            self._baseline[key] = simulate(trace, MTageScPredictor())
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "prediction", app, variant="baseline", predictor="mtage-sc",
+                    input_id=input_id, n_events=self.n_events,
+                )
+                result = self._store_get("prediction", skey)
+            if result is None:
+                trace = self.trace(app, input_id)
+                result = simulate(trace, MTageScPredictor())
+                self._store_put("prediction", skey, result)
+            self._baseline[key] = result
         return self._baseline[key].with_warmup(self.warmup)
 
     # ------------------------------------------------------------------
@@ -146,10 +219,21 @@ class ExperimentContext:
     ) -> BranchProfile:
         key = ("profile", app, input_ids, label_kb, self.n_events)
         if key not in self._profiles:
-            traces = [self.trace(app, i) for i in input_ids]
-            self._profiles[key] = BranchProfile.collect(
-                traces, lambda: scaled_tage_sc_l(label_kb)
-            )
+            skey = None
+            profile = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "profile", app, input_ids=input_ids, label_kb=label_kb,
+                    n_events=self.n_events,
+                )
+                profile = self._store_get("profile", skey)
+            if profile is None:
+                traces = [self.trace(app, i) for i in input_ids]
+                profile = BranchProfile.collect(
+                    traces, lambda: scaled_tage_sc_l(label_kb)
+                )
+                self._store_put("profile", skey, profile)
+            self._profiles[key] = profile
         return self._profiles[key]
 
     def whisper(
@@ -160,15 +244,27 @@ class ExperimentContext:
         config: Optional[WhisperConfig] = None,
         tag: str = "",
     ) -> Tuple[WhisperResult, HintPlacement]:
+        effective = config or WhisperConfig()
         key = ("whisper", app, input_ids, label_kb, tag, self.n_events)
         if key not in self._whisper:
-            profile = self.profile(app, input_ids, label_kb)
-            optimizer = WhisperOptimizer(config or WhisperConfig())
-            trained = optimizer.train(profile)
-            placement = optimizer.inject(
-                self.program(app), trained, trace=profile.traces[0]
-            )
-            self._whisper[key] = (trained, placement)
+            skey = None
+            artifact = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "whisper", app, input_ids=input_ids, label_kb=label_kb,
+                    config=effective, n_events=self.n_events,
+                )
+                artifact = self._store_get("whisper", skey)
+            if artifact is None:
+                profile = self.profile(app, input_ids, label_kb)
+                optimizer = WhisperOptimizer(effective)
+                trained = optimizer.train(profile)
+                placement = optimizer.inject(
+                    self.program(app), trained, trace=profile.traces[0]
+                )
+                artifact = (trained, placement)
+                self._store_put("whisper", skey, artifact)
+            self._whisper[key] = artifact
         return self._whisper[key]
 
     def whisper_run(
@@ -182,15 +278,26 @@ class ExperimentContext:
     ) -> PredictionResult:
         """Whisper-optimized run: train on ``train_inputs``, test on
         ``test_input`` (cross-input by default, as in the paper)."""
+        effective = config or WhisperConfig()
         key = ("wrun", app, test_input, train_inputs, label_kb, tag, self.n_events)
         if key not in self._whisper_runs:
-            trained, placement = self.whisper(app, train_inputs, label_kb, config, tag)
-            optimizer = WhisperOptimizer(config or WhisperConfig())
-            runtime = optimizer.build_runtime(placement)
-            trace = self.trace(app, test_input)
-            self._whisper_runs[key] = simulate(
-                trace, scaled_tage_sc_l(label_kb), runtime=runtime
-            )
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "prediction", app, variant="whisper", test_input=test_input,
+                    train_inputs=train_inputs, label_kb=label_kb,
+                    config=effective, n_events=self.n_events,
+                )
+                result = self._store_get("prediction", skey)
+            if result is None:
+                trained, placement = self.whisper(app, train_inputs, label_kb, config, tag)
+                optimizer = WhisperOptimizer(effective)
+                runtime = optimizer.build_runtime(placement)
+                trace = self.trace(app, test_input)
+                result = simulate(trace, scaled_tage_sc_l(label_kb), runtime=runtime)
+                self._store_put("prediction", skey, result)
+            self._whisper_runs[key] = result
         return self._whisper_runs[key].with_warmup(self.warmup)
 
     def rombf(
@@ -198,8 +305,19 @@ class ExperimentContext:
     ) -> RombfResult:
         key = ("rombf", app, n_bits, input_ids, self.n_events)
         if key not in self._rombf:
-            profile = self.profile(app, input_ids)
-            self._rombf[key] = RombfOptimizer(n_bits=n_bits).train(profile)
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "rombf", app, n_bits=n_bits, input_ids=input_ids,
+                    n_events=self.n_events,
+                )
+                result = self._store_get("rombf", skey)
+            if result is None:
+                profile = self.profile(app, input_ids)
+                result = RombfOptimizer(n_bits=n_bits).train(profile)
+                self._store_put("rombf", skey, result)
+            self._rombf[key] = result
         return self._rombf[key]
 
     def rombf_run(
@@ -207,21 +325,41 @@ class ExperimentContext:
         train_inputs: Tuple[int, ...] = (0,),
     ) -> PredictionResult:
         key = ("rrun", app, n_bits, test_input, train_inputs, self.n_events)
-        if key not in self._whisper_runs:
-            trained = self.rombf(app, n_bits, train_inputs)
-            runtime = RombfOptimizer(n_bits=n_bits).build_runtime(trained)
-            trace = self.trace(app, test_input)
-            self._whisper_runs[key] = simulate(
-                trace, scaled_tage_sc_l(64), runtime=runtime
-            )
-        return self._whisper_runs[key].with_warmup(self.warmup)
+        if key not in self._rombf_runs:
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "prediction", app, variant="rombf", n_bits=n_bits,
+                    test_input=test_input, train_inputs=train_inputs,
+                    n_events=self.n_events,
+                )
+                result = self._store_get("prediction", skey)
+            if result is None:
+                trained = self.rombf(app, n_bits, train_inputs)
+                runtime = RombfOptimizer(n_bits=n_bits).build_runtime(trained)
+                trace = self.trace(app, test_input)
+                result = simulate(trace, scaled_tage_sc_l(64), runtime=runtime)
+                self._store_put("prediction", skey, result)
+            self._rombf_runs[key] = result
+        return self._rombf_runs[key].with_warmup(self.warmup)
 
     def branchnet(self, app: str, input_ids: Tuple[int, ...] = (0,)) -> BranchNetResult:
         """Unlimited-variant training; budget variants deploy subsets."""
         key = ("bn", app, input_ids, self.n_events)
         if key not in self._branchnet:
-            profile = self.profile(app, input_ids)
-            self._branchnet[key] = BranchNetOptimizer(budget_bytes=None).train(profile)
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "branchnet", app, input_ids=input_ids, n_events=self.n_events,
+                )
+                result = self._store_get("branchnet", skey)
+            if result is None:
+                profile = self.profile(app, input_ids)
+                result = BranchNetOptimizer(budget_bytes=None).train(profile)
+                self._store_put("branchnet", skey, result)
+            self._branchnet[key] = result
         return self._branchnet[key]
 
     def branchnet_run(
@@ -229,19 +367,55 @@ class ExperimentContext:
         train_inputs: Tuple[int, ...] = (0,),
     ) -> PredictionResult:
         key = ("bnrun", app, budget_bytes, test_input, train_inputs, self.n_events)
-        if key not in self._whisper_runs:
-            result = self.branchnet(app, train_inputs)
-            models = deploy_budget(result, budget_bytes)
-            runtime = BranchNetRuntime(models)
-            trace = self.trace(app, test_input)
-            self._whisper_runs[key] = simulate(
-                trace, scaled_tage_sc_l(64), runtime=runtime
-            )
-        return self._whisper_runs[key].with_warmup(self.warmup)
+        if key not in self._branchnet_runs:
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "prediction", app, variant="branchnet", budget_bytes=budget_bytes,
+                    test_input=test_input, train_inputs=train_inputs,
+                    n_events=self.n_events,
+                )
+                result = self._store_get("prediction", skey)
+            if result is None:
+                trained = self.branchnet(app, train_inputs)
+                models = deploy_budget(trained, budget_bytes)
+                runtime = BranchNetRuntime(models)
+                trace = self.trace(app, test_input)
+                result = simulate(trace, scaled_tage_sc_l(64), runtime=runtime)
+                self._store_put("prediction", skey, result)
+            self._branchnet_runs[key] = result
+        return self._branchnet_runs[key].with_warmup(self.warmup)
 
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _prediction_discriminator(prediction: Optional[PredictionResult]) -> Tuple:
+        """A stable identity for the prediction feeding a timing run.
+
+        The ``name`` label alone is not enough: two configurations can
+        share a label (or pass different predictions under the same
+        figure-local tag), and a ``name``-keyed cache would silently
+        return the wrong timing result.  Misprediction/hint counts pin
+        the actual prediction content.
+        """
+        if prediction is None:
+            return ("ideal",)
+        return (
+            prediction.predictor_name,
+            round(prediction.warmup_fraction, 6),
+            int(prediction.mispredictions),
+            int(prediction.n_conditional),
+            int(prediction.hinted.sum()),
+        )
+
+    @staticmethod
+    def _placement_discriminator(placement: Optional[HintPlacement]) -> Tuple:
+        if placement is None:
+            return ("none",)
+        return (placement.n_hints, placement.static_instructions_added())
+
     def timing(
         self,
         app: str,
@@ -250,12 +424,25 @@ class ExperimentContext:
         input_id: int = 1,
         name: str = "",
     ) -> SimResult:
-        key = ("timing", app, name, input_id, self.n_events)
+        pred_id = self._prediction_discriminator(prediction)
+        place_id = self._placement_discriminator(placement)
+        key = ("timing", app, name, pred_id, place_id, input_id, self.n_events)
         if key not in self._timing:
-            trace = self.trace(app, input_id)
-            self._timing[key] = simulate_timing(
-                trace, prediction, placement=placement, name=name
-            )
+            skey = None
+            result = None
+            if self.store is not None:
+                skey = self._store_key(
+                    "timing", app, name=name, prediction=pred_id,
+                    placement=place_id, input_id=input_id, n_events=self.n_events,
+                )
+                result = self._store_get("timing", skey)
+            if result is None:
+                trace = self.trace(app, input_id)
+                result = simulate_timing(
+                    trace, prediction, placement=placement, name=name
+                )
+                self._store_put("timing", skey, result)
+            self._timing[key] = result
         return self._timing[key]
 
 

@@ -1,0 +1,43 @@
+"""Experiment orchestration: persistent artifact store + parallel runner.
+
+Three layers (see DESIGN.md):
+
+* :mod:`.keys` / :mod:`.store` — content-addressed on-disk persistence
+  of every expensive intermediate (traces, baseline runs, profiles,
+  trained optimizers, timing results);
+* :mod:`.scheduler` — a dependency-aware task graph executed inline or
+  across a process pool;
+* :mod:`.manifest` / :mod:`.metrics` — per-run observability: task wall
+  times, cache hit/miss counters, worker utilisation.
+
+:mod:`.runall` (imported explicitly, not re-exported here, because it
+pulls in the whole experiment suite) wires the three together behind
+``repro run-all``.
+"""
+
+from .keys import CODE_SCHEMA_VERSION, artifact_key, canonical_json, fingerprint
+from .manifest import MANIFEST_NAME, RunManifest, load_manifest
+from .metrics import Timer, aggregate_cache_stats, hit_rate, worker_utilisation
+from .scheduler import TaskGraph, TaskRecord, TaskSpec
+from .store import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ArtifactStore, CacheStats
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "CACHE_DIR_ENV",
+    "CODE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "MANIFEST_NAME",
+    "RunManifest",
+    "TaskGraph",
+    "TaskRecord",
+    "TaskSpec",
+    "Timer",
+    "aggregate_cache_stats",
+    "artifact_key",
+    "canonical_json",
+    "fingerprint",
+    "hit_rate",
+    "load_manifest",
+    "worker_utilisation",
+]

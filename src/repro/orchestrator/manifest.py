@@ -1,0 +1,179 @@
+"""Run manifests: the observability record of one ``run-all`` execution.
+
+Every orchestrated run writes a JSON manifest capturing what was done
+and how the machine was used: per-task wall time and worker pid, cache
+hit/miss/put counters (aggregated across worker processes), worker-pool
+utilisation, and the list of regenerated figures.  The manifest is the
+contract between the runner and reporting — ``repro cache stats`` and
+:func:`repro.analysis.report.build_experiments_md` both consume it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .metrics import busy_seconds, hit_rate, slowest_tasks, worker_utilisation
+from .scheduler import DONE, FAILED, SKIPPED, TaskRecord
+
+PathLike = Union[str, pathlib.Path]
+
+MANIFEST_FORMAT = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+#: Default file name, written next to the figure outputs.
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class RunManifest:
+    """Everything worth knowing about one orchestrated run."""
+
+    scale: str
+    n_events: int
+    jobs: int
+    figures: List[str]
+    cache_dir: str
+    wall_seconds: float
+    cache: dict  # CacheStats.as_dict() shape, this run only
+    tasks: List[dict]  # TaskRecord.as_dict() entries, completion order
+    utilisation: float
+    created: str = field(default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(
+        cls,
+        records: Sequence[TaskRecord],
+        cache: dict,
+        scale: str,
+        n_events: int,
+        jobs: int,
+        figures: Sequence[str],
+        cache_dir: str,
+        wall_seconds: float,
+    ) -> "RunManifest":
+        return cls(
+            scale=scale,
+            n_events=n_events,
+            jobs=jobs,
+            figures=list(figures),
+            cache_dir=str(cache_dir),
+            wall_seconds=round(wall_seconds, 4),
+            cache=cache,
+            tasks=[record.as_dict() for record in records],
+            utilisation=round(worker_utilisation(records, jobs, wall_seconds), 4),
+        )
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        totals = {DONE: 0, FAILED: 0, SKIPPED: 0}
+        for task in self.tasks:
+            totals[task["status"]] = totals.get(task["status"], 0) + 1
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "created": self.created,
+            "scale": self.scale,
+            "n_events": self.n_events,
+            "jobs": self.jobs,
+            "figures": self.figures,
+            "cache_dir": self.cache_dir,
+            "wall_seconds": self.wall_seconds,
+            "utilisation": self.utilisation,
+            "cache": self.cache,
+            "tasks": self.tasks,
+        }
+
+    def save(self, path: PathLike) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunManifest":
+        data = json.loads(pathlib.Path(path).read_text())
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ValueError("not a repro run manifest")
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {data.get('version')!r} "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        return cls(
+            scale=data["scale"],
+            n_events=int(data["n_events"]),
+            jobs=int(data["jobs"]),
+            figures=list(data["figures"]),
+            cache_dir=data["cache_dir"],
+            wall_seconds=float(data["wall_seconds"]),
+            cache=data["cache"],
+            tasks=list(data["tasks"]),
+            utilisation=float(data["utilisation"]),
+            created=data.get("created", ""),
+        )
+
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest (CLI output and EXPERIMENTS.md section)."""
+        counts = self.counts()
+        cache = self.cache
+        lines = [
+            f"run: {self.created}  scale={self.scale} ({self.n_events} events/app)  "
+            f"jobs={self.jobs}  wall {self.wall_seconds:.1f}s  "
+            f"utilisation {100 * self.utilisation:.0f}%",
+            f"tasks: {counts.get(DONE, 0)} done, {counts.get(FAILED, 0)} failed, "
+            f"{counts.get(SKIPPED, 0)} skipped "
+            f"(busy {busy_seconds(self._records()):.1f}s)",
+            f"cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+            f"({100 * hit_rate(cache):.0f}% hit rate), {cache.get('puts', 0)} writes",
+        ]
+        for kind, stats in cache.get("kinds", {}).items():
+            lines.append(
+                f"  {kind:10s} {stats.get('hits', 0):5d} hits  "
+                f"{stats.get('misses', 0):5d} misses  {stats.get('puts', 0):5d} puts"
+            )
+        slow = slowest_tasks(self._records())
+        if slow:
+            lines.append("slowest tasks:")
+            for name, seconds in slow.items():
+                lines.append(f"  {seconds:8.1f}s  {name}")
+        failed = [t for t in self.tasks if t["status"] == FAILED]
+        for task in failed:
+            reason = task["error"].strip().splitlines()[-1] if task["error"] else "?"
+            lines.append(f"FAILED {task['name']}: {reason}")
+        return lines
+
+    def _records(self) -> List[TaskRecord]:
+        """Task dicts re-hydrated enough for the metrics helpers."""
+        return [
+            TaskRecord(
+                name=t["name"],
+                kind=t.get("kind", ""),
+                app=t.get("app", ""),
+                status=t["status"],
+                seconds=float(t.get("seconds", 0.0)),
+                started=float(t.get("started", 0.0)),
+                finished=float(t.get("finished", 0.0)),
+                worker=int(t.get("worker", 0)),
+                error=t.get("error", ""),
+            )
+            for t in self.tasks
+        ]
+
+
+def load_manifest(path: PathLike) -> Optional[RunManifest]:
+    """Best-effort load for reporting paths; None when absent/invalid."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None
+    try:
+        return RunManifest.load(path)
+    except (ValueError, OSError, KeyError):
+        return None

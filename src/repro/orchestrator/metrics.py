@@ -1,0 +1,82 @@
+"""Run-level observability helpers for the orchestrator.
+
+Small, dependency-free utilities shared by the scheduler, the manifest
+writer, and the CLI: wall-clock timing, cache-counter aggregation across
+worker processes, and worker-utilisation accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+from .scheduler import DONE, TaskRecord
+from .store import CacheStats
+
+
+class Timer:
+    """``with Timer() as t: ...`` — ``t.seconds`` afterwards."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def aggregate_cache_stats(results: Iterable[object]) -> dict:
+    """Merge the ``{"cache": ...}`` deltas returned by worker tasks.
+
+    Each worker process owns a private :class:`ArtifactStore` instance,
+    so its counters come back through the task result; this folds them
+    into one run-wide view (``CacheStats.as_dict`` shape).
+    """
+    merged = CacheStats()
+    for result in results:
+        if isinstance(result, dict) and isinstance(result.get("cache"), dict):
+            merged.merge(result["cache"])
+    return merged.as_dict()
+
+
+def busy_seconds(records: Iterable[TaskRecord]) -> float:
+    """Total worker-occupied wall time across completed tasks."""
+    return sum(r.seconds for r in records if r.status == DONE)
+
+
+def worker_utilisation(records: Iterable[TaskRecord], jobs: int, wall_seconds: float) -> float:
+    """Fraction of the worker pool kept busy over the run (0..1)."""
+    if jobs <= 0 or wall_seconds <= 0.0:
+        return 0.0
+    return min(1.0, busy_seconds(records) / (jobs * wall_seconds))
+
+
+def hit_rate(cache: dict) -> float:
+    """Cache hit fraction from an ``as_dict``-shaped counter document."""
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}GB"  # pragma: no cover - loop always returns
+
+
+def slowest_tasks(records: Iterable[TaskRecord], count: int = 5) -> Dict[str, float]:
+    """The ``count`` longest-running completed tasks, name -> seconds."""
+    done = sorted(
+        (r for r in records if r.status == DONE),
+        key=lambda r: r.seconds,
+        reverse=True,
+    )
+    return {r.name: r.seconds for r in done[:count]}

@@ -1,0 +1,327 @@
+"""``repro run-all``: the whole experiment suite as a parallel task graph.
+
+The graph has two tiers:
+
+* **Warm stages** — per-application pipeline steps (trace → baseline →
+  profile → train → optimized run → timing), one task per (stage, app).
+  Chains for different applications are independent, so a process pool
+  executes them concurrently; every product lands in the shared on-disk
+  artifact store.
+* **Figure tasks** — regenerate one paper table/figure each, depending
+  only on the warm stages they actually consume.  By the time a figure
+  runs, its inputs are cache hits; anything a figure needs beyond the
+  warmed set (input sweeps, non-default predictor sizes) it computes —
+  and stores — itself, so an incomplete needs-map degrades to slower,
+  never to wrong.
+
+All tasks are module-level functions taking plain values (app name,
+event count, cache directory), which keeps them picklable for the pool
+and makes the produced artifacts independent of which process ran them.
+Worker processes return their cache-counter deltas; the parent folds
+them into the run manifest and the store's persistent stats file.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..branchnet import BUDGET_32KB, BUDGET_8KB
+from ..experiments import FIGURES, figure_slug
+from ..experiments.runner import SCALE_EVENTS, ExperimentContext, events_per_app
+from .manifest import MANIFEST_NAME, RunManifest
+from .metrics import Timer, aggregate_cache_stats
+from .scheduler import DONE, TaskGraph
+from .store import ArtifactStore
+
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+#: Warm stages each figure consumes, per data-center app.  Figures with
+#: parameter sweeps beyond the defaults (predictor-size, input-count,
+#: trace-length studies) warm what they can and compute the rest inline.
+FIGURE_NEEDS: Dict[str, Tuple[str, ...]] = {
+    "fig01": ("baseline", "timing_light"),
+    "fig02": ("baseline",),
+    "fig03": ("trace", "baseline"),
+    "fig04": ("baseline", "rombf", "branchnet"),
+    "fig05": ("baseline",),
+    "fig06": ("baseline", "whisper"),
+    "fig07": ("profile", "whisper"),
+    "fig08": (),
+    "fig10": (),
+    "fig11": (),
+    "fig12": ("baseline", "whisper_run", "rombf", "branchnet", "mtage", "timing_full"),
+    "fig13": ("baseline", "whisper_run", "rombf", "branchnet"),
+    "fig14": ("baseline", "whisper_run", "rombf"),
+    "fig15": ("baseline", "whisper", "whisper_run"),
+    "fig16": ("whisper", "rombf", "branchnet"),
+    "fig17": ("baseline", "whisper_run"),
+    "fig18": ("trace", "baseline"),
+    "fig19": ("trace", "whisper"),
+    "fig20": (),
+    "fig21": ("baseline", "whisper_run"),
+    "fig22": ("baseline", "whisper_run"),
+    "fig23": ("baseline", "whisper_run"),
+    "table1": (),
+    "table2": (),
+    "table3": (),
+}
+
+#: Stage dependency edges (within one application's chain).
+STAGE_DEPS: Dict[str, Tuple[str, ...]] = {
+    "trace": (),
+    "baseline": ("trace",),
+    "profile": ("trace",),
+    "whisper": ("profile",),
+    "whisper_run": ("whisper",),
+    "rombf": ("profile",),
+    "branchnet": ("profile",),
+    "mtage": ("trace",),
+    "timing_light": ("baseline",),
+    "timing_full": ("baseline", "whisper_run", "rombf", "branchnet", "mtage"),
+}
+
+
+def scale_label(n_events: int) -> str:
+    """Named scale when the event count matches one, else the raw count."""
+    for name, events in SCALE_EVENTS.items():
+        if events == n_events:
+            return name
+    return f"{n_events}-events"
+
+
+def _context(n_events: int, cache_dir: Optional[str]) -> ExperimentContext:
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    return ExperimentContext(n_events=n_events, store=store)
+
+
+def _stats(ctx: ExperimentContext) -> dict:
+    return {"cache": ctx.store.stats.as_dict()} if ctx.store is not None else {}
+
+
+# ----------------------------------------------------------------------
+# Warm-stage tasks (one process each; results live in the store)
+# ----------------------------------------------------------------------
+def warm_trace(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.trace(app, 0)
+    ctx.trace(app, 1)
+    return _stats(ctx)
+
+
+def warm_baseline(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.baseline(app, 64, input_id=0)
+    ctx.baseline(app, 64, input_id=1)
+    return _stats(ctx)
+
+
+def warm_profile(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.profile(app)
+    return _stats(ctx)
+
+
+def warm_whisper(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.whisper(app)
+    return _stats(ctx)
+
+
+def warm_whisper_run(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.whisper_run(app)
+    return _stats(ctx)
+
+
+def warm_rombf(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    for n_bits in (4, 8):
+        ctx.rombf_run(app, n_bits)
+    return _stats(ctx)
+
+
+def warm_branchnet(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    for budget in (BUDGET_8KB, BUDGET_32KB, None):
+        ctx.branchnet_run(app, budget)
+    return _stats(ctx)
+
+
+def warm_mtage(app: str, n_events: int, cache_dir: str) -> dict:
+    ctx = _context(n_events, cache_dir)
+    ctx.mtage(app, input_id=1)
+    return _stats(ctx)
+
+
+def warm_timing_light(app: str, n_events: int, cache_dir: str) -> dict:
+    """The Fig 1 pair: baseline and ideal-frontend timing runs."""
+    ctx = _context(n_events, cache_dir)
+    base_pred = ctx.baseline(app, 64, input_id=1)
+    ctx.timing(app, base_pred, input_id=1, name="tage64")
+    ctx.timing(app, None, input_id=1, name="ideal")
+    return _stats(ctx)
+
+
+def warm_timing_full(app: str, n_events: int, cache_dir: str) -> dict:
+    """The Fig 12 timing matrix: every technique on one app."""
+    ctx = _context(n_events, cache_dir)
+    base_pred = ctx.baseline(app, 64, input_id=1)
+    ctx.timing(app, base_pred, input_id=1, name="tage64")
+    _, placement = ctx.whisper(app)
+    runs = [
+        (ctx.rombf_run(app, 4), None, "rombf4"),
+        (ctx.rombf_run(app, 8), None, "rombf8"),
+        (ctx.branchnet_run(app, BUDGET_8KB), None, "bn8"),
+        (ctx.branchnet_run(app, BUDGET_32KB), None, "bn32"),
+        (ctx.branchnet_run(app, None), None, "bnu"),
+        (ctx.whisper_run(app), placement, "whisper"),
+        (ctx.mtage(app, input_id=1), None, "mtage"),
+        (None, None, "ideal"),
+    ]
+    for prediction, place, tag in runs:
+        ctx.timing(app, prediction, placement=place, input_id=1, name=tag)
+    return _stats(ctx)
+
+
+_STAGE_FNS: Dict[str, Callable[[str, int, str], dict]] = {
+    "trace": warm_trace,
+    "baseline": warm_baseline,
+    "profile": warm_profile,
+    "whisper": warm_whisper,
+    "whisper_run": warm_whisper_run,
+    "rombf": warm_rombf,
+    "branchnet": warm_branchnet,
+    "mtage": warm_mtage,
+    "timing_light": warm_timing_light,
+    "timing_full": warm_timing_full,
+}
+
+
+# ----------------------------------------------------------------------
+# Figure tasks
+# ----------------------------------------------------------------------
+def run_figure(
+    name: str, n_events: int, cache_dir: Optional[str], results_dir: Optional[str]
+) -> dict:
+    """Regenerate one table/figure against the (warmed) store."""
+    module_name, fn_name = FIGURES[name]
+    module = importlib.import_module(f".experiments.{module_name}", package="repro")
+    ctx = _context(n_events, cache_dir)
+    result = getattr(module, fn_name)(ctx)
+    text = result.to_text() + f"\n(scale: {scale_label(n_events)})\n"
+    slug = figure_slug(name)
+    if results_dir:
+        directory = pathlib.Path(results_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{slug}.txt").write_text(text)
+    return {"figure": name, "slug": slug, "text": text, **_stats(ctx)}
+
+
+# ----------------------------------------------------------------------
+# Graph assembly + entry point
+# ----------------------------------------------------------------------
+def _apps() -> Sequence[str]:
+    from ..workloads.registry import DATACENTER_APPS
+
+    return DATACENTER_APPS
+
+
+def build_graph(
+    figures: Sequence[str],
+    n_events: int,
+    cache_dir: Optional[str],
+    results_dir: Optional[str],
+) -> TaskGraph:
+    graph = TaskGraph()
+    stages: List[str] = []
+    if cache_dir:  # without a store, warmed artifacts would be lost
+        wanted = {stage for name in figures for stage in FIGURE_NEEDS.get(name, ())}
+        # Pull in transitive prerequisites (e.g. timing_full -> mtage -> trace).
+        frontier = list(wanted)
+        while frontier:
+            stage = frontier.pop()
+            for dep in STAGE_DEPS[stage]:
+                if dep not in wanted:
+                    wanted.add(dep)
+                    frontier.append(dep)
+        stages = [stage for stage in _STAGE_FNS if stage in wanted]
+        for app in _apps():
+            for stage in stages:
+                graph.add(
+                    f"{stage}:{app}",
+                    _STAGE_FNS[stage],
+                    args=(app, n_events, cache_dir),
+                    deps=[f"{dep}:{app}" for dep in STAGE_DEPS[stage]],
+                    kind=stage,
+                    app=app,
+                )
+    for name in figures:
+        deps = [
+            f"{stage}:{app}"
+            for stage in FIGURE_NEEDS.get(name, ())
+            if stage in stages
+            for app in _apps()
+        ]
+        graph.add(
+            f"figure:{name}",
+            run_figure,
+            args=(name, n_events, cache_dir, results_dir),
+            deps=deps,
+            kind="figure",
+        )
+    return graph
+
+
+def run_all(
+    figures: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    n_events: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    results_dir: Optional[str] = DEFAULT_RESULTS_DIR,
+    manifest_path: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[RunManifest, Dict[str, str]]:
+    """Execute the suite; returns the manifest and figure texts by name.
+
+    ``cache_dir=None`` disables persistence (figures recompute
+    everything in-process); otherwise artifacts accumulate under
+    ``cache_dir`` and repeat runs become cache-hit dominated.
+    """
+    selected = list(figures) if figures else list(FIGURES)
+    unknown = [name for name in selected if name not in FIGURES]
+    if unknown:
+        raise ValueError(
+            f"unknown figures {unknown}; choose from {', '.join(sorted(FIGURES))}"
+        )
+    n_events = n_events if n_events is not None else events_per_app()
+
+    graph = build_graph(selected, n_events, cache_dir, results_dir)
+    with Timer() as timer:
+        records = graph.run(jobs=jobs, log=log)
+
+    cache = aggregate_cache_stats(record.result for record in records)
+    if cache_dir:
+        ArtifactStore(cache_dir).persist_stats(extra=cache)
+
+    texts = {
+        record.result["figure"]: record.result["text"]
+        for record in records
+        if record.kind == "figure" and record.status == DONE
+    }
+    manifest = RunManifest.from_run(
+        records,
+        cache=cache,
+        scale=scale_label(n_events),
+        n_events=n_events,
+        jobs=jobs,
+        figures=selected,
+        cache_dir=cache_dir or "",
+        wall_seconds=timer.seconds,
+    )
+    if manifest_path is None and results_dir:
+        manifest_path = str(pathlib.Path(results_dir) / MANIFEST_NAME)
+    if manifest_path:
+        manifest.save(manifest_path)
+    return manifest, texts

@@ -1,0 +1,260 @@
+"""Dependency-aware parallel task execution.
+
+A :class:`TaskGraph` holds named tasks with explicit dependencies and
+runs them either inline (``jobs=1``, fully deterministic ordering) or on
+a :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``), always
+respecting the dependency edges.  Independent chains — e.g. the
+per-application trace → baseline → profile → train pipelines of the
+experiment suite — execute concurrently, which is what lets ``repro
+run-all`` scale with cores.
+
+Tasks communicate through side effects on the shared artifact store,
+not through their return values; returns are kept small (stats dicts)
+because they cross a process boundary.  A failed task fails alone:
+its transitive dependents are marked ``skipped`` and everything else
+keeps running.
+
+Every execution produces a list of :class:`TaskRecord`\\ s — per-task
+wall time, worker pid, status, error — which the manifest layer
+(:mod:`repro.orchestrator.manifest`) turns into the run report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Task lifecycle states recorded in the manifest.
+DONE = "done"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+
+@dataclass
+class TaskSpec:
+    """One schedulable unit: a picklable function plus its arguments."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    deps: Tuple[str, ...] = ()
+    kind: str = ""
+    app: str = ""
+
+
+@dataclass
+class TaskRecord:
+    """What actually happened to one task."""
+
+    name: str
+    kind: str = ""
+    app: str = ""
+    status: str = SKIPPED
+    seconds: float = 0.0
+    started: float = 0.0  # offset from graph start
+    finished: float = 0.0
+    worker: int = 0  # pid that executed the task
+    error: str = ""
+    result: Any = field(default=None, repr=False)
+
+    def as_dict(self) -> dict:
+        """JSON-manifest view (drops the in-memory result payload)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "app": self.app,
+            "status": self.status,
+            "seconds": round(self.seconds, 4),
+            "started": round(self.started, 4),
+            "finished": round(self.finished, 4),
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+
+def _run_task(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Tuple[Any, float, int]:
+    """Worker-side wrapper: measure wall time and report the pid."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start, os.getpid()
+
+
+class TaskGraph:
+    """A DAG of named tasks, executed inline or across processes."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, TaskSpec] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        deps: Sequence[str] = (),
+        kind: str = "",
+        app: str = "",
+    ) -> None:
+        if name in self._tasks:
+            raise ValueError(f"duplicate task name {name!r}")
+        self._tasks[name] = TaskSpec(
+            name=name, fn=fn, args=tuple(args), deps=tuple(deps), kind=kind, app=app
+        )
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for spec in self._tasks.values():
+            for dep in spec.deps:
+                if dep not in self._tasks:
+                    raise ValueError(f"task {spec.name!r} depends on unknown {dep!r}")
+        # Kahn's algorithm purely for cycle detection.
+        pending = {name: len(spec.deps) for name, spec in self._tasks.items()}
+        children: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for spec in self._tasks.values():
+            for dep in spec.deps:
+                children[dep].append(spec.name)
+        frontier = [name for name, count in pending.items() if count == 0]
+        visited = 0
+        while frontier:
+            name = frontier.pop()
+            visited += 1
+            for child in children[name]:
+                pending[child] -= 1
+                if pending[child] == 0:
+                    frontier.append(child)
+        if visited != len(self._tasks):
+            cyclic = sorted(name for name, count in pending.items() if count > 0)
+            raise ValueError(f"dependency cycle among tasks: {cyclic}")
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: int = 1,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> List[TaskRecord]:
+        """Execute every task; returns records in completion order."""
+        self._validate()
+        if jobs <= 1:
+            return self._run_inline(log)
+        return self._run_pool(jobs, log)
+
+    # ------------------------------------------------------------------
+    def _record_for(self, spec: TaskSpec) -> TaskRecord:
+        return TaskRecord(name=spec.name, kind=spec.kind, app=spec.app)
+
+    def _log(self, log, done: int, total: int, record: TaskRecord) -> None:
+        if log is None:
+            return
+        if record.status == DONE:
+            log(f"[{done}/{total}] {record.name} ({record.seconds:.1f}s)")
+        else:
+            log(f"[{done}/{total}] {record.name} {record.status.upper()}"
+                + (f": {record.error.splitlines()[-1]}" if record.error else ""))
+
+    def _run_inline(self, log) -> List[TaskRecord]:
+        """Single-process execution in deterministic topological order."""
+        t0 = time.perf_counter()
+        status: Dict[str, str] = {}
+        records: List[TaskRecord] = []
+        remaining = dict(self._tasks)
+        while remaining:
+            progressed = False
+            for name in list(remaining):
+                spec = remaining[name]
+                if any(dep not in status for dep in spec.deps):
+                    continue
+                progressed = True
+                del remaining[name]
+                record = self._record_for(spec)
+                record.started = time.perf_counter() - t0
+                if any(status[dep] != DONE for dep in spec.deps):
+                    record.status = SKIPPED
+                    record.error = "dependency failed"
+                else:
+                    try:
+                        record.result, record.seconds, record.worker = _run_task(
+                            spec.fn, spec.args
+                        )
+                        record.status = DONE
+                    except Exception:
+                        record.status = FAILED
+                        record.error = traceback.format_exc()
+                record.finished = time.perf_counter() - t0
+                status[name] = record.status
+                records.append(record)
+                self._log(log, len(records), len(self._tasks), record)
+            if not progressed:  # unreachable after _validate; belt-and-braces
+                raise RuntimeError(f"no runnable task among {sorted(remaining)}")
+        return records
+
+    def _run_pool(self, jobs: int, log) -> List[TaskRecord]:
+        """Multi-process execution; independent tasks run concurrently."""
+        t0 = time.perf_counter()
+        status: Dict[str, str] = {}
+        records: List[TaskRecord] = []
+        pending = {name: len(spec.deps) for name, spec in self._tasks.items()}
+        children: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for spec in self._tasks.values():
+            for dep in spec.deps:
+                children[dep].append(spec.name)
+
+        def settle(name: str) -> List[TaskRecord]:
+            """Resolve tasks whose dependencies are all decided; returns
+            records for those skipped because a dependency failed."""
+            skipped: List[TaskRecord] = []
+            for child in children[name]:
+                pending[child] -= 1
+                if pending[child] != 0:
+                    continue
+                spec = self._tasks[child]
+                if any(status[dep] != DONE for dep in spec.deps):
+                    record = self._record_for(spec)
+                    record.status = SKIPPED
+                    record.error = "dependency failed"
+                    record.started = record.finished = time.perf_counter() - t0
+                    status[child] = SKIPPED
+                    records.append(record)
+                    skipped.append(record)
+                    skipped.extend(settle(child))
+                else:
+                    ready.append(child)
+            return skipped
+
+        ready: List[str] = [name for name, count in pending.items() if count == 0]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures: Dict[Any, Tuple[str, float]] = {}
+            while ready or futures:
+                while ready:
+                    name = ready.pop(0)
+                    spec = self._tasks[name]
+                    started = time.perf_counter() - t0
+                    future = pool.submit(_run_task, spec.fn, spec.args)
+                    futures[future] = (name, started)
+                finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in finished:
+                    name, started = futures.pop(future)
+                    spec = self._tasks[name]
+                    record = self._record_for(spec)
+                    record.started = started
+                    try:
+                        record.result, record.seconds, record.worker = future.result()
+                        record.status = DONE
+                    except Exception:
+                        record.status = FAILED
+                        record.error = traceback.format_exc()
+                    record.finished = time.perf_counter() - t0
+                    status[name] = record.status
+                    records.append(record)
+                    self._log(log, len(records), len(self._tasks), record)
+                    for skipped in settle(name):
+                        self._log(log, len(records), len(self._tasks), skipped)
+        return records

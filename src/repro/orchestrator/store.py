@@ -1,0 +1,466 @@
+"""Content-addressed on-disk artifact store for the experiment suite.
+
+The store is the L2 behind :class:`~repro.experiments.runner.ExperimentContext`'s
+in-process dictionaries (the L1): every expensive intermediate — traces,
+baseline :class:`~repro.bpu.runner.PredictionResult`\\ s, branch profiles,
+trained Whisper/ROMBF/BranchNet artifacts, timing results — is persisted
+under a key from :mod:`repro.orchestrator.keys`, so later processes
+(including parallel ``run-all`` workers sharing one cache directory)
+reuse the work instead of re-simulating.
+
+Layout::
+
+    <root>/
+      stats.json            cumulative hit/miss/put counters
+      trace/<digest>.npz    one file per artifact, named by content key
+      prediction/<digest>.npz
+      profile/<digest>.npz
+      whisper/<digest>.npz
+      rombf/<digest>.npz
+      branchnet/<digest>.npz
+      timing/<digest>.npz
+
+Each ``.npz`` bundles the artifact's numpy arrays with a ``__meta__``
+JSON document (the non-array fields, encoded with the codecs in
+:mod:`repro.core.serialization` where one exists).  Writes go through a
+temp file + ``os.replace`` so concurrent workers racing on the same key
+settle on one complete file.
+
+Results that reference a :class:`~repro.profiling.trace.Trace` (trace
+linkage is needed for warm-up views and per-PC aggregation) are stored
+with a *trace reference* — ``(app, input_id, n_events)`` — and re-linked
+on load through a ``trace_provider`` callback, which in practice is the
+experiment context's own (cached) trace lookup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..branchnet.cnn import BranchNetModel, CnnConfig
+from ..branchnet.trainer import BranchNetResult
+from ..bpu.runner import PredictionResult
+from ..core import serialization as ser
+from ..core.rombf import RombfResult
+from ..core.whisper import WhisperResult
+from ..profiling.profile import BranchProfile
+from ..profiling.trace import Trace
+from ..sim.simulator import SimResult
+
+#: Environment variable that opts a process into the on-disk cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory used by the CLI when none is given.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: ``(app, input_id, n_events) -> Trace`` — how decoded artifacts get
+#: their trace linkage back.
+TraceProvider = Callable[[str, int, int], Trace]
+
+
+def _trace_ref(trace: Trace) -> dict:
+    return {"app": trace.app, "input_id": trace.input_id, "n_events": trace.n_events}
+
+
+def _resolve_trace(ref: Optional[dict], provider: Optional[TraceProvider]) -> Optional[Trace]:
+    if ref is None or provider is None:
+        return None
+    return provider(ref["app"], int(ref["input_id"]), int(ref["n_events"]))
+
+
+# ----------------------------------------------------------------------
+# Codecs: one per artifact kind
+# ----------------------------------------------------------------------
+class _TraceCodec:
+    """Traces regenerate deterministically, but loading arrays is much
+    cheaper than re-running the Markov walk at full scale."""
+
+    @staticmethod
+    def encode(trace: Trace) -> Tuple[dict, Dict[str, np.ndarray]]:
+        meta = {"app": trace.app, "input_id": trace.input_id}
+        return meta, {"block_ids": trace.block_ids, "taken": trace.taken}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> Trace:
+        from ..workloads.generator import get_program
+        from ..workloads.registry import get_spec
+
+        program = get_program(get_spec(meta["app"]))
+        return Trace(
+            program=program,
+            block_ids=arrays["block_ids"],
+            taken=arrays["taken"],
+            app=meta["app"],
+            input_id=int(meta["input_id"]),
+        )
+
+
+class _PredictionCodec:
+    @staticmethod
+    def encode(result: PredictionResult) -> Tuple[dict, Dict[str, np.ndarray]]:
+        meta = {
+            "app": result.app,
+            "predictor_name": result.predictor_name,
+            "warmup_fraction": result.warmup_fraction,
+            "measured_instructions": result.measured_instructions,
+            "trace": None if result._trace is None else _trace_ref(result._trace),
+        }
+        arrays = {
+            "correct": result.correct,
+            "cond_event_indices": result.cond_event_indices,
+            "hinted": result.hinted,
+        }
+        return meta, arrays
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> PredictionResult:
+        return PredictionResult(
+            app=meta["app"],
+            predictor_name=meta["predictor_name"],
+            correct=arrays["correct"],
+            cond_event_indices=arrays["cond_event_indices"],
+            hinted=arrays["hinted"],
+            warmup_fraction=float(meta["warmup_fraction"]),
+            measured_instructions=int(meta["measured_instructions"]),
+            _trace=_resolve_trace(meta.get("trace"), ctx.get("trace_provider")),
+        )
+
+
+class _ProfileCodec:
+    @staticmethod
+    def encode(profile: BranchProfile) -> Tuple[dict, Dict[str, np.ndarray]]:
+        pcs = np.array(sorted(profile.per_pc), dtype=np.int64)
+        execs = np.array([profile.per_pc[int(pc)][0] for pc in pcs], dtype=np.int64)
+        misps = np.array([profile.per_pc[int(pc)][1] for pc in pcs], dtype=np.int64)
+        meta = {
+            "app": profile.app,
+            "predictor_name": profile.predictor_name,
+            "traces": [_trace_ref(t) for t in profile.traces],
+        }
+        return meta, {"pcs": pcs, "execs": execs, "misps": misps}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> BranchProfile:
+        provider = ctx.get("trace_provider")
+        if provider is None:
+            raise ValueError("profile artifacts need a trace_provider to decode")
+        traces = [_resolve_trace(ref, provider) for ref in meta["traces"]]
+        per_pc = {
+            int(pc): (int(n), int(m))
+            for pc, n, m in zip(arrays["pcs"], arrays["execs"], arrays["misps"])
+        }
+        return BranchProfile(
+            traces=traces,
+            per_pc=per_pc,
+            predictor_name=meta["predictor_name"],
+            app=meta["app"],
+        )
+
+
+class _WhisperCodec:
+    """The trained analysis plus its hint placement, as one artifact."""
+
+    @staticmethod
+    def encode(obj: Tuple[WhisperResult, Any]) -> Tuple[dict, Dict[str, np.ndarray]]:
+        trained, placement = obj
+        meta = {
+            "trained": ser.whisper_result_to_dict(trained),
+            "placement": ser.placement_to_dict(placement),
+        }
+        return meta, {}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict):
+        trained = ser.whisper_result_from_dict(meta["trained"])
+        placement = ser.placement_from_dict(meta["placement"])
+        return trained, placement
+
+
+class _RombfCodec:
+    @staticmethod
+    def encode(result: RombfResult) -> Tuple[dict, Dict[str, np.ndarray]]:
+        return {"result": ser.rombf_result_to_dict(result)}, {}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> RombfResult:
+        return ser.rombf_result_from_dict(meta["result"])
+
+
+class _BranchNetCodec:
+    """Per-branch CNN weights.  Model order is preserved because budgeted
+    deployment walks ``models`` in value order (insertion order)."""
+
+    _PARAMS = ("E", "Wc", "bc", "W1", "b1", "W2", "b2")
+
+    @classmethod
+    def encode(cls, result: BranchNetResult) -> Tuple[dict, Dict[str, np.ndarray]]:
+        meta = {
+            "pcs": [int(pc) for pc in result.models],
+            "configs": [dataclasses.asdict(m.config) for m in result.models.values()],
+            "candidates_considered": result.candidates_considered,
+            "trained": result.trained,
+            "rejected": result.rejected,
+            "training_seconds": result.training_seconds,
+            "work_units": result.work_units,
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for i, model in enumerate(result.models.values()):
+            for name in cls._PARAMS:
+                arrays[f"m{i}_{name}"] = getattr(model, name)
+        return meta, arrays
+
+    @classmethod
+    def decode(cls, meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> BranchNetResult:
+        models: Dict[int, BranchNetModel] = {}
+        for i, (pc, config) in enumerate(zip(meta["pcs"], meta["configs"])):
+            config = dict(config)
+            model = BranchNetModel(CnnConfig(**config))
+            for name in cls._PARAMS:
+                setattr(model, name, arrays[f"m{i}_{name}"])
+            # Optimizer state is not part of the deployable artifact;
+            # re-zero it so the object matches a freshly-trained model
+            # whose Adam moments were discarded.
+            model._m = {n: np.zeros_like(p) for n, p in model._params()}
+            model._v = {n: np.zeros_like(p) for n, p in model._params()}
+            model._t = 0
+            models[int(pc)] = model
+        return BranchNetResult(
+            models=models,
+            candidates_considered=int(meta.get("candidates_considered", 0)),
+            trained=int(meta.get("trained", 0)),
+            rejected=int(meta.get("rejected", 0)),
+            training_seconds=float(meta.get("training_seconds", 0.0)),
+            work_units=int(meta.get("work_units", 0)),
+        )
+
+
+class _TimingCodec:
+    @staticmethod
+    def encode(result: SimResult) -> Tuple[dict, Dict[str, np.ndarray]]:
+        return {"result": dataclasses.asdict(result)}, {}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> SimResult:
+        return SimResult(**meta["result"])
+
+
+_CODECS: Dict[str, Any] = {
+    "trace": _TraceCodec,
+    "prediction": _PredictionCodec,
+    "profile": _ProfileCodec,
+    "whisper": _WhisperCodec,
+    "rombf": _RombfCodec,
+    "branchnet": _BranchNetCodec,
+    "timing": _TimingCodec,
+}
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+@dataclass
+class KindStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put counters, tracked per artifact kind."""
+
+    kinds: Dict[str, KindStats] = field(default_factory=dict)
+
+    def _kind(self, kind: str) -> KindStats:
+        return self.kinds.setdefault(kind, KindStats())
+
+    @property
+    def hits(self) -> int:
+        return sum(k.hits for k in self.kinds.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(k.misses for k in self.kinds.values())
+
+    @property
+    def puts(self) -> int:
+        return sum(k.puts for k in self.kinds.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "kinds": {kind: stats.as_dict() for kind, stats in sorted(self.kinds.items())},
+        }
+
+    def merge(self, other: dict) -> None:
+        """Fold another stats dict (``as_dict`` shape) into this one."""
+        for kind, stats in other.get("kinds", {}).items():
+            mine = self._kind(kind)
+            mine.hits += int(stats.get("hits", 0))
+            mine.misses += int(stats.get("misses", 0))
+            mine.puts += int(stats.get("puts", 0))
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Persistent, process-shared artifact cache."""
+
+    KINDS = tuple(_CODECS)
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls) -> Optional["ArtifactStore"]:
+        """The store selected by ``REPRO_CACHE_DIR``, or None (disabled).
+
+        Keeping the default *off* means plain test/benchmark runs stay
+        hermetic; ``repro run-all`` and the cache-aware CLI paths enable
+        it explicitly.
+        """
+        cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip()
+        if not cache_dir:
+            return None
+        return cls(cache_dir)
+
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        if kind not in _CODECS:
+            raise KeyError(f"unknown artifact kind {kind!r}; expected one of {self.KINDS}")
+        return self.root / kind / f"{key}.npz"
+
+    def has(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()
+
+    def get(self, kind: str, key: str, **decode_ctx: Any) -> Optional[Any]:
+        """Fetch and decode one artifact; None (a recorded miss) if absent.
+
+        A corrupt or undecodable file counts as a miss and is removed so
+        the caller's rebuild can replace it.
+        """
+        path = self._path(kind, key)
+        stats = self.stats._kind(kind)
+        if not path.exists():
+            stats.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"][()]))
+                arrays = {name: data[name] for name in data.files if name != "__meta__"}
+            decoded = _CODECS[kind].decode(meta, arrays, decode_ctx)
+        except Exception:
+            stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        stats.hits += 1
+        return decoded
+
+    def put(self, kind: str, key: str, obj: Any) -> pathlib.Path:
+        """Encode and atomically persist one artifact."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta, arrays = _CODECS[kind].encode(obj)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, __meta__=np.array(json.dumps(meta)), **arrays)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats._kind(kind).puts += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance / observability
+    # ------------------------------------------------------------------
+    def disk_usage(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(entry_count, bytes)`` currently on disk."""
+        usage: Dict[str, Tuple[int, int]] = {}
+        for kind in self.KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            files = list(directory.glob("*.npz"))
+            usage[kind] = (len(files), sum(f.stat().st_size for f in files))
+        return usage
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Remove cached artifacts (one kind, or everything); returns count."""
+        if kind is not None and kind not in _CODECS:
+            raise KeyError(
+                f"unknown artifact kind {kind!r}; expected one of {self.KINDS}"
+            )
+        kinds = [kind] if kind is not None else list(self.KINDS)
+        removed = 0
+        for k in kinds:
+            directory = self.root / k
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+        if kind is None:
+            stats_path = self.root / "stats.json"
+            if stats_path.exists():
+                stats_path.unlink()
+        return removed
+
+    # ------------------------------------------------------------------
+    def persist_stats(self, extra: Optional[dict] = None) -> dict:
+        """Fold this process's counters (plus optional worker deltas)
+        into ``<root>/stats.json`` and return the cumulative document."""
+        path = self.root / "stats.json"
+        cumulative = CacheStats()
+        if path.exists():
+            try:
+                cumulative.merge(json.loads(path.read_text()))
+            except (ValueError, OSError):
+                pass
+        cumulative.merge(self.stats.as_dict())
+        if extra:
+            cumulative.merge(extra)
+        document = cumulative.as_dict()
+        document["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=1)
+        os.replace(tmp_name, path)
+        return document
+
+    def read_persistent_stats(self) -> dict:
+        """The cumulative counters saved by previous runs (may be empty)."""
+        path = self.root / "stats.json"
+        if not path.exists():
+            return {}
+        try:
+            return json.loads(path.read_text())
+        except ValueError:
+            return {}

@@ -1,0 +1,105 @@
+"""``repro run-all``: graph assembly and cold/warm determinism.
+
+The determinism test is the orchestrator's core guarantee: a run served
+entirely from the artifact cache must reproduce the uncached figure
+rows byte-for-byte.
+"""
+
+import pytest
+
+from repro.experiments import FIGURES
+from repro.orchestrator import runall
+from repro.orchestrator.manifest import MANIFEST_NAME, RunManifest
+from repro.orchestrator.runall import FIGURE_NEEDS, STAGE_DEPS, build_graph, run_all
+from repro.workloads.registry import DATACENTER_APPS
+
+EVENTS = 2_500
+
+
+class TestGraphAssembly:
+    def test_needs_map_covers_every_figure(self):
+        assert set(FIGURE_NEEDS) == set(FIGURES)
+
+    def test_stage_deps_closed_over_known_stages(self):
+        for stage, deps in STAGE_DEPS.items():
+            for dep in deps:
+                assert dep in STAGE_DEPS, f"{stage} depends on unknown {dep}"
+        for needs in FIGURE_NEEDS.values():
+            for stage in needs:
+                assert stage in STAGE_DEPS
+
+    def test_no_cache_means_no_warm_tasks(self):
+        graph = build_graph(["fig02"], EVENTS, cache_dir=None, results_dir=None)
+        assert len(graph) == 1
+        assert "figure:fig02" in graph
+
+    def test_warm_tasks_and_figure_deps(self):
+        graph = build_graph(["fig02"], EVENTS, cache_dir="/tmp/c", results_dir=None)
+        # fig02 needs baseline, which transitively needs trace.
+        for app in DATACENTER_APPS:
+            assert f"trace:{app}" in graph
+            assert f"baseline:{app}" in graph
+        assert "figure:fig02" in graph
+        assert len(graph) == 2 * len(DATACENTER_APPS) + 1
+
+    def test_transitive_stage_closure(self):
+        graph = build_graph(["fig12"], EVENTS, cache_dir="/tmp/c", results_dir=None)
+        # timing_full pulls in the whole pipeline, including mtage and
+        # its trace prerequisite.
+        app = DATACENTER_APPS[0]
+        for stage in ("trace", "profile", "whisper", "whisper_run",
+                      "rombf", "branchnet", "mtage", "timing_full"):
+            assert f"{stage}:{app}" in graph
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figures"):
+            run_all(figures=["fig99"], n_events=EVENTS, cache_dir=None)
+
+
+class TestColdWarmDeterminism:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("cache")
+        results = tmp_path_factory.mktemp("results")
+        cold = run_all(
+            figures=["fig02"], jobs=1, n_events=EVENTS,
+            cache_dir=str(cache), results_dir=str(results),
+        )
+        warm = run_all(
+            figures=["fig02"], jobs=1, n_events=EVENTS,
+            cache_dir=str(cache), results_dir=str(results),
+        )
+        return cold, warm, results
+
+    def test_cold_run_completes_and_writes_outputs(self, runs):
+        (manifest, texts), _, results = runs
+        assert manifest.counts().get("failed", 0) == 0
+        assert "fig02" in texts
+        saved = (results / "fig02_mpki.txt").read_text()
+        assert saved == texts["fig02"]
+        assert f"(scale: {runall.scale_label(EVENTS)})" in saved
+
+    def test_warm_run_is_all_hits(self, runs):
+        (_, _), (manifest, _), _ = runs
+        assert manifest.cache["misses"] == 0
+        assert manifest.cache["puts"] == 0
+        assert manifest.cache["hits"] > 0
+
+    def test_warm_reproduces_cold_rows_exactly(self, runs):
+        (_, cold_texts), (_, warm_texts), _ = runs
+        assert warm_texts["fig02"] == cold_texts["fig02"]
+
+    def test_manifest_persisted_and_loadable(self, runs):
+        _, (manifest, _), results = runs
+        loaded = RunManifest.load(results / MANIFEST_NAME)
+        assert loaded.figures == ["fig02"]
+        assert loaded.n_events == EVENTS
+        assert loaded.counts() == manifest.counts()
+
+    def test_report_includes_manifest_section(self, runs):
+        from repro.analysis.report import build_experiments_md
+
+        _, _, results = runs
+        text = build_experiments_md(results)
+        assert "## Run manifest" in text
+        assert "hit rate" in text

@@ -1,0 +1,202 @@
+"""Task graph execution, run manifests, and the metrics helpers."""
+
+import json
+
+import pytest
+
+from repro.orchestrator.manifest import (
+    MANIFEST_NAME,
+    RunManifest,
+    load_manifest,
+)
+from repro.orchestrator.metrics import (
+    aggregate_cache_stats,
+    format_bytes,
+    hit_rate,
+    slowest_tasks,
+    worker_utilisation,
+)
+from repro.orchestrator.scheduler import DONE, FAILED, SKIPPED, TaskGraph
+
+
+# Module-level so the process-pool path can pickle them by reference.
+def _emit(tag):
+    return tag
+
+
+def _boom():
+    raise RuntimeError("deliberate failure")
+
+
+def _touch(path, tag):
+    with open(path, "a") as handle:
+        handle.write(tag + "\n")
+    return tag
+
+
+class TestGraphStructure:
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _emit, args=("a",))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add("a", _emit, args=("a",))
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _emit, args=("a",), deps=["ghost"])
+        with pytest.raises(ValueError, match="unknown"):
+            graph.run()
+
+    def test_cycle_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", _emit, args=("a",), deps=["b"])
+        graph.add("b", _emit, args=("b",), deps=["a"])
+        graph.add("c", _emit, args=("c",))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.run()
+        assert "a" in graph and len(graph) == 3
+
+
+class TestInlineExecution:
+    def test_dependencies_run_first(self, tmp_path):
+        order_file = tmp_path / "order.txt"
+        graph = TaskGraph()
+        graph.add("late", _touch, args=(str(order_file), "late"), deps=["mid"])
+        graph.add("mid", _touch, args=(str(order_file), "mid"), deps=["early"])
+        graph.add("early", _touch, args=(str(order_file), "early"))
+        records = graph.run(jobs=1)
+        assert [r.status for r in records] == [DONE, DONE, DONE]
+        assert order_file.read_text().split() == ["early", "mid", "late"]
+
+    def test_failure_skips_transitive_dependents_only(self):
+        graph = TaskGraph()
+        graph.add("bad", _boom)
+        graph.add("child", _emit, args=("child",), deps=["bad"])
+        graph.add("grandchild", _emit, args=("gc",), deps=["child"])
+        graph.add("independent", _emit, args=("ok",))
+        records = {r.name: r for r in graph.run(jobs=1)}
+        assert records["bad"].status == FAILED
+        assert "deliberate failure" in records["bad"].error
+        assert records["child"].status == SKIPPED
+        assert records["grandchild"].status == SKIPPED
+        assert records["independent"].status == DONE
+        assert records["independent"].result == "ok"
+
+    def test_log_callback_reports_progress(self):
+        lines = []
+        graph = TaskGraph()
+        graph.add("only", _emit, args=("x",))
+        graph.run(jobs=1, log=lines.append)
+        assert len(lines) == 1 and "only" in lines[0]
+
+
+class TestPoolExecution:
+    def test_pool_runs_everything(self, tmp_path):
+        order_file = tmp_path / "order.txt"
+        graph = TaskGraph()
+        graph.add("a", _touch, args=(str(order_file), "a"))
+        graph.add("b", _touch, args=(str(order_file), "b"))
+        graph.add("after", _touch, args=(str(order_file), "after"), deps=["a", "b"])
+        records = {r.name: r for r in graph.run(jobs=2)}
+        assert all(r.status == DONE for r in records.values())
+        assert all(r.worker > 0 for r in records.values())
+        assert order_file.read_text().split()[-1] == "after"
+
+    def test_pool_failure_propagation(self):
+        graph = TaskGraph()
+        graph.add("bad", _boom)
+        graph.add("child", _emit, args=("c",), deps=["bad"])
+        graph.add("sibling", _emit, args=("s",))
+        records = {r.name: r for r in graph.run(jobs=2)}
+        assert records["bad"].status == FAILED
+        assert records["child"].status == SKIPPED
+        assert records["sibling"].status == DONE
+
+
+class TestManifest:
+    def _manifest(self):
+        graph = TaskGraph()
+        graph.add("ok", _emit, args=("x",), kind="stage", app="mysql")
+        graph.add("bad", _boom, kind="stage", app="kafka")
+        graph.add("skipme", _emit, args=("y",), deps=["bad"], kind="figure")
+        records = graph.run(jobs=1)
+        cache = {"hits": 3, "misses": 1, "puts": 1,
+                 "kinds": {"trace": {"hits": 3, "misses": 1, "puts": 1}}}
+        return RunManifest.from_run(
+            records, cache=cache, scale="small", n_events=1000, jobs=1,
+            figures=["fig02"], cache_dir="/tmp/cache", wall_seconds=1.5,
+        )
+
+    def test_counts_and_summary(self):
+        manifest = self._manifest()
+        counts = manifest.counts()
+        assert counts == {DONE: 1, FAILED: 1, SKIPPED: 1}
+        text = "\n".join(manifest.summary_lines())
+        assert "1 done, 1 failed, 1 skipped" in text
+        assert "3 hits / 1 misses (75% hit rate)" in text
+        assert "FAILED bad:" in text
+
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = self._manifest()
+        path = tmp_path / MANIFEST_NAME
+        manifest.save(path)
+        loaded = RunManifest.load(path)
+        assert loaded.scale == "small"
+        assert loaded.figures == ["fig02"]
+        assert loaded.counts() == manifest.counts()
+        assert loaded.cache == manifest.cache
+        assert [t["name"] for t in loaded.tasks] == [t["name"] for t in manifest.tasks]
+
+    def test_load_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "not-manifest.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            RunManifest.load(path)
+        assert load_manifest(path) is None
+        assert load_manifest(tmp_path / "absent.json") is None
+
+
+class TestMetrics:
+    def test_hit_rate(self):
+        assert hit_rate({"hits": 3, "misses": 1}) == 0.75
+        assert hit_rate({}) == 0.0
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+
+    def test_aggregate_cache_stats_merges_worker_deltas(self):
+        results = [
+            {"cache": {"kinds": {"trace": {"hits": 1, "misses": 2, "puts": 2}}}},
+            {"cache": {"kinds": {"trace": {"hits": 4, "misses": 0, "puts": 0}}}},
+            "not a dict",
+            None,
+        ]
+        merged = aggregate_cache_stats(results)
+        assert merged["hits"] == 5
+        assert merged["misses"] == 2
+        assert merged["kinds"]["trace"]["puts"] == 2
+
+    def test_worker_utilisation_bounds(self):
+        from repro.orchestrator.scheduler import TaskRecord
+
+        records = [
+            TaskRecord(name="a", status=DONE, seconds=2.0),
+            TaskRecord(name="b", status=DONE, seconds=2.0),
+            TaskRecord(name="c", status=FAILED, seconds=9.0),
+        ]
+        assert worker_utilisation(records, jobs=2, wall_seconds=2.0) == 1.0
+        assert worker_utilisation(records, jobs=2, wall_seconds=4.0) == 0.5
+        assert worker_utilisation(records, jobs=0, wall_seconds=4.0) == 0.0
+
+    def test_slowest_tasks_ranks_done_only(self):
+        from repro.orchestrator.scheduler import TaskRecord
+
+        records = [
+            TaskRecord(name="fast", status=DONE, seconds=0.1),
+            TaskRecord(name="slow", status=DONE, seconds=5.0),
+            TaskRecord(name="failed", status=FAILED, seconds=99.0),
+        ]
+        ranked = slowest_tasks(records, count=2)
+        assert list(ranked) == ["slow", "fast"]
