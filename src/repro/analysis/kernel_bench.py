@@ -1,0 +1,179 @@
+"""Tracked scalar-vs-vector kernel benchmark (``repro bench``).
+
+Measures throughput of every replay layer that gained a vectorised
+kernel — trace generation, predictor replay (cold and batch-warm) and
+the timing simulator — under both kernels, and appends one timestamped
+row per invocation to a JSON history file (``benchmarks/perf/
+BENCH_kernels.json`` by default).  The committed history doubles as the
+CI perf-smoke baseline: absolute events/sec is machine-dependent, but
+the *vector/scalar speedup ratio* is not, so the smoke job compares
+measured speedups against the baseline row and fails on a >30%
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: Default location of the benchmark history, relative to the repo root.
+DEFAULT_BENCH_PATH = "benchmarks/perf/BENCH_kernels.json"
+
+#: CI smoke tolerance: fail when a measured speedup drops below this
+#: fraction of the baseline speedup (>30% events/sec regression).
+REGRESSION_TOLERANCE = 0.70
+
+#: Benchmarks whose speedups participate in the regression check.
+CHECKED_BENCHMARKS = (
+    "trace_gen",
+    "replay_tage",
+    "replay_tage_sc_l",
+    "replay_gshare",
+    "timing_fdip",
+)
+
+
+def _predictor_factories() -> Dict[str, Callable]:
+    from ..bpu.perceptron import PerceptronPredictor
+    from ..bpu.simple import BimodalPredictor, GSharePredictor
+    from ..bpu.tage import TagePredictor
+    from ..bpu.tage_sc_l import TageScLPredictor
+
+    return {
+        "bimodal": lambda: BimodalPredictor(),
+        "gshare": lambda: GSharePredictor(),
+        "perceptron": lambda: PerceptronPredictor(),
+        "tage": lambda: TagePredictor(64),
+        "tage_sc_l": lambda: TageScLPredictor(64),
+    }
+
+
+def _time(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_bench(
+    app: str = "cassandra",
+    n_events: int = 200_000,
+    predictors: Optional[List[str]] = None,
+    log: Callable[[str], None] = print,
+) -> Dict:
+    """Run the kernel benchmark suite; returns one history row."""
+    from ..bpu import runner
+    from ..sim import simulator
+    from ..sim.config import SimConfig
+    from ..workloads.generator import generate_trace, get_program
+    from ..workloads.registry import get_spec
+
+    spec = get_spec(app)
+    get_program(spec)  # build the program outside the timed region
+    results: Dict[str, Dict] = {}
+
+    def record(name: str, scalar_s: float, vector_s: float, events: int) -> None:
+        results[name] = {
+            "scalar_s": round(scalar_s, 4),
+            "vector_s": round(vector_s, 4),
+            "speedup": round(scalar_s / vector_s, 2) if vector_s > 0 else None,
+            "events_per_s_vector": int(events / vector_s) if vector_s > 0 else None,
+        }
+        log(
+            f"  {name:20s} scalar {scalar_s:7.3f}s  vector {vector_s:7.3f}s"
+            f"  speedup {scalar_s / vector_s:6.1f}x"
+        )
+
+    log(f"kernel bench: app={app} events={n_events}")
+    scalar_gen = _time(
+        lambda: generate_trace(spec, 0, n_events, use_cache=False, kernel="scalar")
+    )
+    vector_gen = _time(
+        lambda: generate_trace(spec, 0, n_events, use_cache=False, kernel="vector")
+    )
+    record("trace_gen", scalar_gen, vector_gen, n_events)
+
+    trace = generate_trace(spec, 0, n_events)
+    factories = _predictor_factories()
+    names = predictors if predictors is not None else list(factories)
+    for name in names:
+        factory = factories[name]
+        scalar_s = _time(lambda: runner.simulate(trace, factory(), kernel="scalar"))
+        # Cold: fresh batch, every derived column rebuilt.
+        runner._BATCH_CACHE.clear()
+        cold_s = _time(lambda: runner.simulate(trace, factory(), kernel="vector"))
+        warm_s = _time(lambda: runner.simulate(trace, factory(), kernel="vector"))
+        record(f"replay_{name}", scalar_s, warm_s, n_events)
+        results[f"replay_{name}"]["vector_cold_s"] = round(cold_s, 4)
+
+    prediction = runner.simulate(trace, factories["tage_sc_l"]())
+    config = SimConfig()
+    for label, fdip in (("timing_fdip", True), ("timing_nofdip", False)):
+        scalar_s = _time(
+            lambda: simulator.simulate_timing(
+                trace, prediction, config=config, fdip=fdip, kernel="scalar"
+            )
+        )
+        simulator._INPUT_CACHE.clear()
+        cold_s = _time(
+            lambda: simulator.simulate_timing(
+                trace, prediction, config=config, fdip=fdip, kernel="vector"
+            )
+        )
+        warm_s = _time(
+            lambda: simulator.simulate_timing(
+                trace, prediction, config=config, fdip=fdip, kernel="vector"
+            )
+        )
+        record(label, scalar_s, warm_s, n_events)
+        results[label]["vector_cold_s"] = round(cold_s, 4)
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "app": app,
+        "n_events": n_events,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+
+
+def append_row(path: pathlib.Path, row: Dict) -> List[Dict]:
+    """Append ``row`` to the JSON history at ``path`` (creating it)."""
+    history: List[Dict] = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            raise ValueError(f"{path} does not hold a JSON list")
+    history.append(row)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return history
+
+
+def check_regression(
+    row: Dict, baseline: Dict, log: Callable[[str], None] = print
+) -> bool:
+    """Compare ``row`` speedups against ``baseline``; True when healthy.
+
+    Only the speedup *ratio* is compared — it factors out the host's
+    absolute speed, which is what lets a committed baseline gate CI runs
+    on unknown hardware.
+    """
+    healthy = True
+    for name in CHECKED_BENCHMARKS:
+        base = baseline.get("results", {}).get(name, {}).get("speedup")
+        got = row.get("results", {}).get(name, {}).get("speedup")
+        if base is None or got is None:
+            continue
+        floor = REGRESSION_TOLERANCE * base
+        status = "ok" if got >= floor else "REGRESSION"
+        log(f"  {name:20s} speedup {got:6.2f}x vs baseline {base:6.2f}x (floor {floor:5.2f}x) {status}")
+        if got < floor:
+            healthy = False
+    return healthy

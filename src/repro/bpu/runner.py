@@ -15,6 +15,8 @@ pairs for CNN-style runtimes.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -25,6 +27,37 @@ from .base import BranchPredictor
 
 _HISTORY_BITS = 1024
 _HISTORY_MASK = (1 << _HISTORY_BITS) - 1
+
+#: Replay kernel implementations selectable per call / via environment.
+VALID_KERNELS = ("scalar", "vector")
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+DEFAULT_KERNEL = "vector"
+
+
+def default_kernel() -> str:
+    """Session-wide kernel choice: ``REPRO_KERNEL`` env var or 'vector'."""
+    value = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    if not value:
+        return DEFAULT_KERNEL
+    if value not in VALID_KERNELS:
+        # A typo here would silently run the wrong kernel — the whole
+        # point of the variable is to force one deliberately.
+        raise ValueError(
+            f"{KERNEL_ENV_VAR}={value!r} is not a valid kernel; "
+            f"expected one of {VALID_KERNELS}"
+        )
+    return value
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Validate an explicit kernel choice, or fall back to the default."""
+    if kernel is None:
+        return default_kernel()
+    if kernel not in VALID_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {VALID_KERNELS}"
+        )
+    return kernel
 
 
 class RunContext:
@@ -158,18 +191,13 @@ class PredictionResult:
         return 100.0 * (base - self.mispredictions) / base
 
 
-def simulate(
+def _simulate_scalar(
     trace: Trace,
     predictor: BranchPredictor,
-    runtime: Optional[HintRuntime] = None,
-    warmup_fraction: float = 0.0,
-    suppress_hint_allocation: bool = True,
-) -> PredictionResult:
-    """Replay ``trace`` through ``predictor`` (+ optional hint runtime).
-
-    ``suppress_hint_allocation=False`` disables the paper's §IV rule that
-    hinted branches do not allocate predictor entries (ablation study).
-    """
+    runtime: Optional[HintRuntime],
+    suppress_hint_allocation: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference per-event replay loop (the original scalar kernel)."""
     predictor.reset()
     token_size = runtime.wants_tokens if runtime is not None else 0
     ctx = RunContext(token_size=token_size)
@@ -222,10 +250,169 @@ def simulate(
         ctx.push(pc, taken)
         j += 1
 
+    return correct, hinted, cond_event_indices
+
+
+def _scalar_hint_pass(trace: Trace, runtime: HintRuntime):
+    """Hint pre-pass for runtimes without a batched implementation.
+
+    Hint runtimes never observe predictor state, so their predictions are
+    a pure function of the trace; this replays the runtime alone and
+    records which conditional branches it covered and with what
+    direction.  ``runtime.reset()`` must already have been called.
+    """
+    ctx = RunContext(token_size=runtime.wants_tokens)
+    block_ids = trace.block_ids
+    taken_arr = trace.taken
+    pcs = trace.pcs
+    cond = trace.is_conditional
+    n_events = trace.n_events
+
+    hinted = np.zeros(trace.n_conditional, dtype=bool)
+    hint_preds = np.zeros(trace.n_conditional, dtype=bool)
+    runtime_predict = runtime.predict
+    runtime_on_block = runtime.on_block
+
+    j = 0
+    for i in range(n_events):
+        runtime_on_block(int(block_ids[i]))
+        if not cond[i]:
+            continue
+        pc = int(pcs[i])
+        taken = bool(taken_arr[i])
+        hint_pred = runtime_predict(pc, ctx)
+        if hint_pred is not None:
+            hinted[j] = True
+            hint_preds[j] = hint_pred
+        ctx.push(pc, taken)
+        j += 1
+    return hinted, hint_preds
+
+
+def _scalar_replay(batch, predictor, hinted, hint_preds, suppress_hint_allocation):
+    """Predictor replay over pre-segmented branches (no kernel registered)."""
+    is_ideal = getattr(predictor, "is_ideal", False)
+    pcs = batch.pcs.tolist()
+    taken_l = batch.taken.tolist()
+    hinted_l = hinted.tolist()
+    hint_ok = (hint_preds == batch.taken).tolist()
+    allocate_hinted = not suppress_hint_allocation
+    correct = np.empty(batch.n, dtype=bool)
+    predictor_predict = predictor.predict
+    predictor_update = predictor.update
+    for j in range(batch.n):
+        pc = pcs[j]
+        taken = taken_l[j]
+        if hinted_l[j]:
+            if not is_ideal:
+                predictor_predict(pc)
+                predictor_update(pc, taken, allocate=allocate_hinted)
+            correct[j] = hint_ok[j]
+        elif is_ideal:
+            correct[j] = True
+        else:
+            prediction = predictor_predict(pc)
+            predictor_update(pc, taken)
+            correct[j] = prediction == taken
+    return correct
+
+
+#: Experiments replay the same trace under many predictor/runtime
+#: configurations; the SoA batch (and its trace-pure derived columns)
+#: is therefore cached across simulate calls.  Keyed by object identity
+#: — the trace object itself is held in the entry so the id cannot be
+#: recycled while the cache entry lives.
+_BATCH_CACHE: "OrderedDict[int, Tuple[Trace, object]]" = OrderedDict()
+_BATCH_CACHE_SIZE = 3
+
+
+def _get_batch(trace: Trace):
+    from .vector import ReplayBatch
+
+    key = id(trace)
+    entry = _BATCH_CACHE.get(key)
+    if entry is not None and entry[0] is trace:
+        _BATCH_CACHE.move_to_end(key)
+        return entry[1]
+    batch = ReplayBatch(trace)
+    _BATCH_CACHE[key] = (trace, batch)
+    while len(_BATCH_CACHE) > _BATCH_CACHE_SIZE:
+        _BATCH_CACHE.popitem(last=False)
+    return batch
+
+
+def _simulate_vector(
+    trace: Trace,
+    predictor: BranchPredictor,
+    runtime: Optional[HintRuntime],
+    suppress_hint_allocation: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two-stage vector replay: batched hint pre-pass, then a fused
+    predictor kernel over SoA columns (see :mod:`repro.bpu.vector`)."""
+    from .vector import kernel_for
+
+    predictor.reset()
+    if runtime is not None:
+        runtime.reset()
+
+    batch = _get_batch(trace)
+    if runtime is None:
+        hinted = np.zeros(batch.n, dtype=bool)
+        hint_preds = np.zeros(batch.n, dtype=bool)
+    else:
+        result = None
+        predict_batch = getattr(runtime, "predict_batch", None)
+        if predict_batch is not None:
+            result = predict_batch(batch)
+        if result is None:
+            result = _scalar_hint_pass(trace, runtime)
+        hinted, hint_preds = result
+
+    kernel_fn = kernel_for(predictor)
+    if kernel_fn is None:
+        correct = _scalar_replay(
+            batch, predictor, hinted, hint_preds, suppress_hint_allocation
+        )
+    else:
+        correct = kernel_fn(
+            predictor, batch, hinted, hint_preds, suppress_hint_allocation
+        )
+    return correct, hinted, batch.cond_event_indices
+
+
+def simulate(
+    trace: Trace,
+    predictor: BranchPredictor,
+    runtime: Optional[HintRuntime] = None,
+    warmup_fraction: float = 0.0,
+    suppress_hint_allocation: bool = True,
+    kernel: Optional[str] = None,
+) -> PredictionResult:
+    """Replay ``trace`` through ``predictor`` (+ optional hint runtime).
+
+    ``suppress_hint_allocation=False`` disables the paper's §IV rule that
+    hinted branches do not allocate predictor entries (ablation study).
+
+    ``kernel`` selects the replay implementation: ``"vector"`` (default)
+    runs the SoA batch kernels from :mod:`repro.bpu.vector`, ``"scalar"``
+    the original per-event reference loop.  Both produce bit-identical
+    predictions (enforced by tests); ``REPRO_KERNEL=scalar`` flips the
+    session default as an escape hatch.
+    """
+    mode = resolve_kernel(kernel)
+    if mode == "vector":
+        correct, hinted, cond_event_indices = _simulate_vector(
+            trace, predictor, runtime, suppress_hint_allocation
+        )
+    else:
+        correct, hinted, cond_event_indices = _simulate_scalar(
+            trace, predictor, runtime, suppress_hint_allocation
+        )
+
     cutoff = int(len(correct) * warmup_fraction)
     if cutoff > 0:
         first_event = cond_event_indices[cutoff]
-        measured_instr = int(trace.program.block_sizes[block_ids[first_event:]].sum())
+        measured_instr = int(trace.program.block_sizes[trace.block_ids[first_event:]].sum())
     else:
         measured_instr = trace.n_instructions
 

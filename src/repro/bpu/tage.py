@@ -14,7 +14,7 @@ in O(1), and the index/tag computation for a PC is cached between the
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.geometric import geometric_lengths
 from .base import BranchPredictor, FoldedHistory, GlobalHistoryMixin
@@ -83,9 +83,23 @@ class TagePredictor(BranchPredictor, GlobalHistoryMixin):
         self._ctrs: List[List[int]] = [[0] * n_entries for _ in range(self.n_tables)]
         self._tags: List[List[int]] = [[-1] * n_entries for _ in range(self.n_tables)]
         self._us: List[List[int]] = [[0] * n_entries for _ in range(self.n_tables)]
-        self._fold_idx = [FoldedHistory(h, self.log_entries) for h in self.histories]
-        self._fold_tag0 = [FoldedHistory(h, self.tag_bits) for h in self.histories]
-        self._fold_tag1 = [FoldedHistory(h, max(1, self.tag_bits - 1)) for h in self.histories]
+        # A folded register is a pure function of (history length, width):
+        # tables that share a geometry (repeated lengths in a short
+        # schedule, or tag widths colliding with the index width) share
+        # one register, updated once per branch.
+        registry: Dict[Tuple[int, int], FoldedHistory] = {}
+
+        def fold(length: int, width: int) -> FoldedHistory:
+            reg = registry.get((length, width))
+            if reg is None:
+                reg = registry[(length, width)] = FoldedHistory(length, width)
+            return reg
+
+        self._fold_idx = [fold(h, self.log_entries) for h in self.histories]
+        self._fold_tag0 = [fold(h, self.tag_bits) for h in self.histories]
+        self._fold_tag1 = [fold(h, max(1, self.tag_bits - 1)) for h in self.histories]
+        self._unique_folds = [(reg, h) for (h, _w), reg in registry.items()]
+        self._pc_cache: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
         self._init_history(self.histories[-1] + 1)
         self._use_alt_on_na = 8  # 4-bit counter in [0, 15]
         self._tick = 0
@@ -108,11 +122,18 @@ class TagePredictor(BranchPredictor, GlobalHistoryMixin):
 
     def _compute(self, pc: int) -> tuple:
         """Indices/tags for every table plus provider/alternate picks."""
-        pc2 = pc >> 2
+        cached = self._pc_cache.get(pc)
+        if cached is None:
+            pc2 = pc >> 2
+            idx_comps = tuple(
+                pc2 ^ (pc2 >> (self.log_entries - i % 4)) for i in range(self.n_tables)
+            )
+            cached = self._pc_cache[pc] = (pc2, idx_comps)
+        pc2, idx_comps = cached
         indices = []
         tags = []
         for i in range(self.n_tables):
-            idx = (pc2 ^ (pc2 >> (self.log_entries - i % 4)) ^ self._fold_idx[i].comp) & self._entry_mask
+            idx = (idx_comps[i] ^ self._fold_idx[i].comp) & self._entry_mask
             tag = (pc2 ^ self._fold_tag0[i].comp ^ (self._fold_tag1[i].comp << 1)) & self._tag_mask
             indices.append(idx)
             tags.append(tag)
@@ -236,14 +257,12 @@ class TagePredictor(BranchPredictor, GlobalHistoryMixin):
                     if u:
                         us[j] = u >> 1
 
-        # Advance global + folded histories.
-        old_bits = [self._history_bit(h) for h in self.histories]
+        # Advance global + folded histories (each shared register once).
+        unique_folds = self._unique_folds
+        old_bits = [self._history_bit(h) for _, h in unique_folds]
         self._push_history(taken)
-        for i in range(self.n_tables):
-            old = old_bits[i]
-            self._fold_idx[i].update(taken_i, old)
-            self._fold_tag0[i].update(taken_i, old)
-            self._fold_tag1[i].update(taken_i, old)
+        for (reg, _), old in zip(unique_folds, old_bits):
+            reg.update(taken_i, old)
 
     def _update_bimodal(self, pc: int, taken: bool) -> None:
         idx = (pc >> 2) & self._bimodal_mask

@@ -167,8 +167,15 @@ class BranchNetModel:
         D = c.embed_dim
         for j in range(c.kernel):
             dX[:, j : j + T, :] += dWindows[:, :, j * D : (j + 1) * D]
-        dE = np.zeros_like(self.E)
-        np.add.at(dE, toks, dX)
+        # Scatter-add of dX rows into the embedding rows their tokens
+        # hit.  bincount accumulates per bin in input order, exactly like
+        # np.add.at, so the float result is bit-identical — but without
+        # add.at's slow buffered fancy-indexing path.
+        tf = toks.reshape(-1)
+        dXf = dX.reshape(-1, D)
+        dE = np.empty_like(self.E)
+        for d in range(D):
+            dE[:, d] = np.bincount(tf, weights=dXf[:, d], minlength=c.vocab)
         grads["E"] = dE
 
         # Adam update.

@@ -35,3 +35,54 @@ class BranchNetRuntime(HintRuntime):
         pcs, dirs = ctx.recent_tokens(model.config.history)
         tokens = tokenize(pcs, np.asarray(dirs), self._vocab)
         return model.predict(tokens)
+
+    def predict_batch(self, batch):
+        """Batched hint pre-pass over a :class:`~repro.bpu.vector.ReplayBatch`.
+
+        CNN hints are a pure function of the trace's (pc, direction)
+        token ring, so every covered branch can be scored in one forward
+        pass per model instead of per-event Python calls.  Returns None
+        (scalar fallback) if the models disagree on window geometry,
+        which the batched gather below assumes is uniform.
+        """
+        n = batch.n
+        hinted = np.zeros(n, dtype=bool)
+        hint_preds = np.zeros(n, dtype=bool)
+        if not self.models:
+            return hinted, hint_preds
+        history = self.wants_tokens
+        for model in self.models.values():
+            if model.config.history != history or model.config.vocab != self._vocab:
+                return None
+
+        covered_pcs = tuple(sorted(self.models))
+
+        def build_tokens():
+            # The runner's token ring holds the preceding *conditional*
+            # branches and starts zero-filled; left-padding the SoA
+            # columns with `history` zeros reproduces both, and
+            # padded[j : j + history] is exactly recent_tokens(history)
+            # (oldest first) for conditional j.
+            pad_pcs = np.concatenate(
+                [np.zeros(history, dtype=np.int64), batch.pcs]
+            )
+            pad_dirs = np.concatenate(
+                [np.zeros(history, dtype=np.int8), batch.taken.astype(np.int8)]
+            )
+            rows = np.flatnonzero(
+                np.isin(batch.pcs, np.asarray(covered_pcs, dtype=np.int64))
+            )
+            idx = rows[:, None] + np.arange(history)[None, :]
+            return rows, tokenize(pad_pcs[idx], pad_dirs[idx], self._vocab)
+
+        rows, tokens = batch.cached(
+            ("branchnet-tokens", history, self._vocab, covered_pcs), build_tokens
+        )
+        row_pcs = batch.pcs[rows]
+        for pc, model in self.models.items():
+            sel = np.flatnonzero(row_pcs == pc)
+            if sel.size == 0:
+                continue
+            hinted[rows[sel]] = True
+            hint_preds[rows[sel]] = model.predict_batch(tokens[sel]) >= 0.5
+        return hinted, hint_preds

@@ -23,11 +23,20 @@ Commands
     outputs.
 ``cache {stats,clear}``
     Inspect or empty the on-disk artifact cache.
+``bench``
+    Time the scalar vs vector replay kernels and append a row to the
+    tracked benchmark history (``benchmarks/perf/BENCH_kernels.json``);
+    ``--check`` compares speedups against a baseline row for CI.
+
+The global ``--kernel {scalar,vector}`` flag (before the subcommand)
+forces one replay-kernel implementation for the whole invocation — the
+escape hatch if a vectorised kernel ever misbehaves.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -196,9 +205,50 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import kernel_bench
+
+    predictors = None
+    if args.predictors:
+        predictors = [name.strip() for name in args.predictors.split(",") if name.strip()]
+    row = kernel_bench.run_bench(
+        app=args.app, n_events=args.events, predictors=predictors
+    )
+
+    # Check against the baseline as it stood *before* this run, so a
+    # write+check invocation never compares the new row against itself.
+    failed = False
+    if args.check:
+        baseline_path = pathlib.Path(args.check)
+        baseline_rows = json.loads(baseline_path.read_text())
+        baseline = baseline_rows[-1] if isinstance(baseline_rows, list) else baseline_rows
+        print(f"regression check vs {baseline_path} "
+              f"(row dated {baseline.get('timestamp', '?')}):")
+        if kernel_bench.check_regression(row, baseline):
+            print("speedups within tolerance")
+        else:
+            print("FAIL: vector kernel slower than baseline tolerance")
+            failed = True
+
+    output = pathlib.Path(args.output)
+    if args.no_write:
+        print("(history not written: --no-write)")
+    else:
+        history = kernel_bench.append_row(output, row)
+        print(f"appended row {len(history)} to {output}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Whisper (MICRO 2022) reproduction toolkit"
+    )
+    parser.add_argument(
+        "--kernel", choices=("scalar", "vector"), default=None,
+        help="force one replay-kernel implementation for this invocation "
+        "(default: vector, or the REPRO_KERNEL environment variable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -266,12 +316,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict `clear` to one artifact kind (trace, prediction, ...)",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the scalar vs vector replay kernels"
+    )
+    bench.add_argument("--app", default="cassandra")
+    bench.add_argument("--events", type=int, default=200_000)
+    bench.add_argument(
+        "--predictors", default=None,
+        help="comma-separated subset, e.g. tage,tage_sc_l (default: all)",
+    )
+    bench.add_argument(
+        "--output", default="benchmarks/perf/BENCH_kernels.json",
+        help="benchmark history file to append to",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true", help="measure only; do not append"
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare speedups against this baseline JSON; non-zero exit "
+        "on a >30%% regression (CI perf smoke)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.kernel:
+        os.environ["REPRO_KERNEL"] = args.kernel
     return args.func(args)
 
 

@@ -98,6 +98,53 @@ def fold_history_array(
     return folded.astype(np.int64)
 
 
+def fold_bytes_matrix(
+    history_bytes: np.ndarray, length: int, op: str = "xor"
+) -> np.ndarray:
+    """Batched :func:`fold_history` over pre-packed history rows.
+
+    ``history_bytes`` is an ``(n, n_bytes)`` uint8 matrix in which byte
+    ``k`` of a row holds history bits ``8k .. 8k+7`` (LSB = older bit
+    within the byte is false: bit ``j`` of byte ``k`` is history bit
+    ``8k + j``).  Only the default 8-bit hash width is supported — each
+    byte column *is* one fold chunk, so the fold reduces the row.
+
+    Matches the scalar fold exactly, including the subtlety that
+    ``fold_history`` stops consuming chunks once the remaining history
+    value is zero: for XOR/OR folds the skipped chunks are identity
+    elements, but for AND folds the reduction must stop at the most
+    significant *non-zero* chunk rather than absorb trailing zeros.
+    """
+    if op not in _FOLD_OPS:
+        raise ValueError(f"unsupported fold op {op!r}; expected one of {_FOLD_OPS}")
+    if length < 0:
+        raise ValueError("history length must be non-negative")
+    n = history_bytes.shape[0]
+    if length == 0 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    n_bytes = (length + 7) // 8
+    if n_bytes > history_bytes.shape[1]:
+        raise ValueError("length exceeds the packed history matrix width")
+    chunks = history_bytes[:, :n_bytes]
+    remainder = length % 8
+    if remainder:
+        chunks = chunks.copy()
+        chunks[:, n_bytes - 1] &= (1 << remainder) - 1
+    if n_bytes == 1:
+        return chunks[:, 0].astype(np.int64)
+    if op == "xor":
+        return np.bitwise_xor.reduce(chunks, axis=1).astype(np.int64)
+    if op == "or":
+        return np.bitwise_or.reduce(chunks, axis=1).astype(np.int64)
+    # AND fold: combine chunks only up to the last non-zero one.
+    nonzero = chunks != 0
+    any_nonzero = nonzero.any(axis=1)
+    last = (n_bytes - 1) - np.argmax(nonzero[:, ::-1], axis=1)
+    last[~any_nonzero] = 0
+    prefix_and = np.bitwise_and.accumulate(chunks, axis=1)
+    return prefix_and[np.arange(n), last].astype(np.int64)
+
+
 def fold_many(
     history: int,
     lengths,

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..bpu.runner import HintRuntime, RunContext
 from ..core.formulas import FormulaTree
 from ..core.hashing import fold_history
@@ -124,6 +126,86 @@ class WhisperRuntime(HintRuntime):
             return None
         return entry.predict(ctx.history)
 
+    def predict_batch(self, batch):
+        """Vectorised hint pre-pass over a :class:`~repro.bpu.vector.ReplayBatch`.
+
+        The buffer's LRU state is inherently sequential, but only events
+        that load hints or probe a hinted PC can touch it — everything
+        else is skipped.  Formula evaluation is then batched per shared
+        decoded entry over precomputed hashed-history columns.  Buffer
+        statistics (loads/hits/evictions) match the scalar replay.
+
+        Returns ``(hinted, predictions)`` bool columns over conditional
+        branches.
+        """
+        hinted = np.zeros(batch.n, dtype=bool)
+        predictions = np.zeros(batch.n, dtype=bool)
+        if not self._decoded or batch.n == 0:
+            return hinted, predictions
+
+        trace = batch.trace
+        block_ids = trace.block_ids
+        n_blocks = len(trace.program.block_sizes)
+        has_hints = np.zeros(n_blocks, dtype=bool)
+        for block in self._decoded:
+            if not 0 <= block < n_blocks:
+                return None  # foreign placement; use the scalar pre-pass
+            has_hints[block] = True
+        load_events = np.flatnonzero(has_hints[block_ids])
+
+        covered = {pc for hints in self._decoded.values() for pc, _ in hints}
+        covered_arr = np.fromiter(covered, dtype=np.int64, count=len(covered))
+        candidate_pos = np.flatnonzero(np.isin(batch.pcs, covered_arr))
+        candidate_events = batch.cond_event_indices[candidate_pos]
+        pos_of_event = dict(
+            zip(candidate_events.tolist(), candidate_pos.tolist())
+        )
+
+        relevant = np.union1d(load_events, candidate_events)
+        rel_blocks = block_ids[relevant].tolist()
+        rel_loads = has_hints[block_ids[relevant]].tolist()
+
+        decoded = self._decoded
+        load = self.buffer.load
+        lookup = self.buffer.lookup
+        pcs = batch.pcs
+        probe_hits: List[Tuple[int, _BufferEntry]] = []
+        for event, block, loads_hints in zip(
+            relevant.tolist(), rel_blocks, rel_loads
+        ):
+            if loads_hints:
+                for branch_pc, entry in decoded[block]:
+                    load(branch_pc, entry)
+            pos = pos_of_event.get(event)
+            if pos is not None:
+                entry = lookup(int(pcs[pos]))
+                if entry is not None:
+                    probe_hits.append((pos, entry))
+
+        # Group probe hits by shared decoded entry; evaluate each formula
+        # once over its gathered hashed-history column.
+        by_entry: Dict[int, Tuple[_BufferEntry, List[int]]] = {}
+        for pos, entry in probe_hits:
+            group = by_entry.get(id(entry))
+            if group is None:
+                by_entry[id(entry)] = (entry, [pos])
+            else:
+                group[1].append(pos)
+        for entry, positions in by_entry.values():
+            pos = np.asarray(positions, dtype=np.int64)
+            bias = entry.hint.bias
+            if bias == BIAS_TAKEN:
+                predictions[pos] = True
+            elif bias == BIAS_NOT_TAKEN:
+                predictions[pos] = False
+            else:
+                hashed = batch.hashed_column(entry.length, entry.hash_op)[pos]
+                predictions[pos] = np.asarray(
+                    entry.formula.evaluate_batch(hashed), dtype=bool
+                )
+            hinted[pos] = True
+        return hinted, predictions
+
 
 class TableHintRuntime(HintRuntime):
     """Always-active hint table (no buffer, no injection).
@@ -141,3 +223,54 @@ class TableHintRuntime(HintRuntime):
         if entry is None:
             return None
         return entry(ctx.history)
+
+    def predict_batch(self, batch):
+        """Vectorised hint pre-pass: the table is stateless, so covered
+        branches are grouped by PC and each entry's formula evaluates in
+        one shot over the matching history column.  Returns ``None`` for
+        entry types without a known batched form (scalar fallback)."""
+        hinted = np.zeros(batch.n, dtype=bool)
+        predictions = np.zeros(batch.n, dtype=bool)
+        if not self.table or batch.n == 0:
+            return hinted, predictions
+
+        table = self.table
+        pcs_arr = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+        selected = np.flatnonzero(np.isin(batch.pcs, pcs_arr))
+        if selected.size == 0:
+            return hinted, predictions
+        order = np.argsort(batch.pcs[selected], kind="stable")
+        sorted_sel = selected[order]
+        sorted_pcs = batch.pcs[sorted_sel]
+        boundaries = np.flatnonzero(np.diff(sorted_pcs)) + 1
+        for group in np.split(sorted_sel, boundaries):
+            entry = table[int(batch.pcs[group[0]])]
+            if isinstance(entry, _BufferEntry):
+                bias = entry.hint.bias
+                if bias == BIAS_TAKEN:
+                    predictions[group] = True
+                elif bias == BIAS_NOT_TAKEN:
+                    predictions[group] = False
+                else:
+                    hashed = batch.hashed_column(entry.length, entry.hash_op)
+                    predictions[group] = np.asarray(
+                        entry.formula.evaluate_batch(hashed[group]), dtype=bool
+                    )
+            else:
+                # ROMBF-style entries: raw masked history -> formula/bias.
+                formula = getattr(entry, "formula", "missing")
+                mask = getattr(entry, "mask", None)
+                if formula == "missing" or not isinstance(mask, int):
+                    return None
+                n_bits = mask.bit_length()
+                if mask != (1 << n_bits) - 1:
+                    return None
+                if formula is None:
+                    predictions[group] = entry.bias_taken
+                else:
+                    column, _ = batch.raw_history_column(n_bits)
+                    predictions[group] = np.asarray(
+                        formula.evaluate_batch(column[group]), dtype=bool
+                    )
+            hinted[group] = True
+        return hinted, predictions

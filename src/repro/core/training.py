@@ -86,21 +86,83 @@ def collect_training_data(
         pc: BranchTrainingData(pc=pc, lengths=list(lengths)) for pc in candidates
     }
 
+    from ..bpu.runner import resolve_kernel
+
+    vectorizable = (
+        hash_bits == 8
+        and hash_op in ("xor", "or", "and")
+        and resolve_kernel(None) == "vector"
+    )
     for trace in traces:
-        history = 0
-        pcs = trace.pcs
-        cond = trace.is_conditional
-        taken_arr = trace.taken
-        for i in range(trace.n_events):
-            if not cond[i]:
-                continue
-            taken = bool(taken_arr[i])
-            pc = int(pcs[i])
-            if pc in candidates:
-                folds = fold_many(history, lengths, hash_bits, hash_op)
-                data[pc].add_sample(folds, taken)
-            history = ((history << 1) | int(taken)) & _HISTORY_MASK
+        if vectorizable and candidates:
+            _collect_vector(trace, candidates, data, lengths, hash_op)
+        else:
+            _collect_scalar(
+                trace, candidates, data, lengths, hash_bits, hash_op
+            )
     return data
+
+
+def _collect_scalar(trace, candidates, data, lengths, hash_bits, hash_op):
+    """Reference per-event walk (also the non-8-bit-hash fallback)."""
+    history = 0
+    pcs = trace.pcs
+    cond = trace.is_conditional
+    taken_arr = trace.taken
+    for i in range(trace.n_events):
+        if not cond[i]:
+            continue
+        taken = bool(taken_arr[i])
+        pc = int(pcs[i])
+        if pc in candidates:
+            folds = fold_many(history, lengths, hash_bits, hash_op)
+            data[pc].add_sample(folds, taken)
+        history = ((history << 1) | int(taken)) & _HISTORY_MASK
+
+
+def _collect_vector(trace, candidates, data, lengths, hash_op):
+    """Batched substream extraction over cached hashed-history columns.
+
+    Reuses the replay batch's per-length fold columns (shared with the
+    hint pre-pass on the same trace), then reduces each (pc, direction,
+    fold) group with one ``np.unique``.  Table *counts* are identical to
+    the scalar walk; only dict insertion order differs, which nothing
+    downstream observes (formula scoring sums the tables).
+    """
+    import numpy as np
+
+    from ..bpu.runner import _get_batch
+
+    batch = _get_batch(trace)
+    cand_arr = np.fromiter(candidates, dtype=np.int64, count=len(candidates))
+    rows = np.flatnonzero(np.isin(batch.pcs, cand_arr))
+    if rows.size == 0:
+        return
+    row_pcs = batch.pcs[rows]
+    row_taken = batch.taken[rows].astype(np.int64)
+
+    uniq_pcs, execs = np.unique(row_pcs, return_counts=True)
+    t_pcs, t_counts = np.unique(row_pcs[row_taken == 1], return_counts=True)
+    taken_by_pc = dict(zip(t_pcs.tolist(), t_counts.tolist()))
+    for pc, n_exec in zip(uniq_pcs.tolist(), execs.tolist()):
+        d = data[pc]
+        d.executions += n_exec
+        d.taken_total += taken_by_pc.get(pc, 0)
+
+    # 8-bit fold + 1 direction bit pack under the pc without collisions.
+    base = (row_pcs << np.int64(9)) | (row_taken << np.int64(8))
+    for length in lengths:
+        folds = batch.hashed_column(length, hash_op)[rows]
+        comp, counts = np.unique(base | folds, return_counts=True)
+        pcs_k = (comp >> np.int64(9)).tolist()
+        dirs_k = ((comp >> np.int64(8)) & 1).tolist()
+        folds_k = (comp & np.int64(0xFF)).tolist()
+        for pc, direction, fold, count in zip(
+            pcs_k, dirs_k, folds_k, counts.tolist()
+        ):
+            d = data[pc]
+            table = d.taken[length] if direction else d.nottaken[length]
+            table[fold] = table.get(fold, 0) + count
 
 
 def select_candidates(

@@ -32,7 +32,7 @@ from ..bpu.scaling import scaled_tage_sc_l
 from ..core.rombf import RombfOptimizer, RombfResult
 from ..core.whisper import WhisperConfig, WhisperOptimizer, WhisperResult
 from ..core.injection import HintPlacement
-from ..orchestrator.keys import artifact_key
+from ..orchestrator.keys import artifact_key, kernel_fields
 from ..orchestrator.store import ArtifactStore
 from ..profiling.profile import BranchProfile
 from ..profiling.trace import Trace
@@ -124,8 +124,13 @@ class ExperimentContext:
     # L2 plumbing
     # ------------------------------------------------------------------
     def _store_key(self, kind: str, app: str, **fields) -> str:
-        """Content key: the full app spec plus the request parameters."""
-        return artifact_key(kind, spec=get_spec(app), **fields)
+        """Content key: the full app spec plus the request parameters.
+
+        ``kernel_fields()`` is merged in so the cache splits per replay
+        kernel if the kernels ever stop being bit-identical; today it
+        contributes nothing and the cache is shared across kernels.
+        """
+        return artifact_key(kind, spec=get_spec(app), **kernel_fields(), **fields)
 
     def _store_get(self, kind: str, key: Optional[str]):
         if self.store is None or key is None:

@@ -28,7 +28,19 @@ from typing import Any, Mapping
 #: Bump whenever artifact-producing code or an on-disk codec changes
 #: meaning: old cache entries become unreachable (stale keys) instead of
 #: silently wrong.
-CODE_SCHEMA_VERSION = 1
+#: v2: vectorised replay kernels — the timing simulator's cycle
+#: accounting recomposed stall sums (float association changed), so v1
+#: timing artifacts no longer match what the code produces.
+CODE_SCHEMA_VERSION = 2
+
+#: The scalar and vector replay kernels are verified bit-identical
+#: (tests/test_vector_equivalence.py), so artifact *content* does not
+#: depend on the kernel choice and one cache serves every
+#: ``REPRO_KERNEL`` setting.  If a future kernel intentionally diverges
+#: (e.g. an approximate fast path), flip this to True: the resolved
+#: kernel then participates in every store key via
+#: :func:`kernel_fields`, splitting the cache per kernel.
+KERNEL_AFFECTS_ARTIFACTS = False
 
 #: Hex digits kept from the SHA-256 digest; 32 (128 bits) is far beyond
 #: collision concerns for a per-project cache while keeping names short.
@@ -85,6 +97,21 @@ def artifact_key(kind: str, **fields: Any) -> str:
     """
     payload = {"kind": kind, "schema": CODE_SCHEMA_VERSION, "fields": fields}
     return fingerprint(payload)
+
+
+def kernel_fields() -> Mapping[str, Any]:
+    """Key fields contributed by the active replay-kernel choice.
+
+    Empty while the kernels are bit-identical (the verified invariant);
+    callers merge the result into their ``artifact_key`` fields so the
+    cache splits automatically if :data:`KERNEL_AFFECTS_ARTIFACTS` is
+    ever turned on.
+    """
+    if not KERNEL_AFFECTS_ARTIFACTS:
+        return {}
+    from ..bpu.runner import resolve_kernel
+
+    return {"kernel": resolve_kernel(None)}
 
 
 def spec_fingerprint(spec: Any) -> str:

@@ -22,12 +22,21 @@ Traces are deterministic functions of ``(spec, input_id, n_events)``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.hashing import fold_history
 from ..profiling.trace import Trace
-from .behaviors import BiasedBehavior, BurstyBehavior
+from .behaviors import (
+    BiasedBehavior,
+    BurstyBehavior,
+    FormulaBehavior,
+    LocalBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    SparseHistoryBehavior,
+)
 from .program import Program, build_program
 from .spec import AppSpec
 
@@ -36,6 +45,7 @@ _HISTORY_MASK = (1 << _HISTORY_BITS) - 1
 
 _program_cache: Dict[Tuple[str, int], Program] = {}
 _trace_cache: Dict[Tuple, Trace] = {}
+_phase_array_cache: Dict[Tuple[str, int], Tuple] = {}
 
 
 def get_program(spec: AppSpec) -> Program:
@@ -50,6 +60,7 @@ def clear_caches() -> None:
     """Drop memoised programs and traces (used by tests)."""
     _program_cache.clear()
     _trace_cache.clear()
+    _phase_array_cache.clear()
 
 
 def _input_rng(spec: AppSpec, input_id: int, salt: int = 0) -> np.random.Generator:
@@ -90,48 +101,73 @@ def _drifted_behaviors(program: Program, input_id: int) -> Dict[int, BiasedBehav
     return overrides
 
 
-def generate_trace(
+#: Behaviour classes the vector generation kernel resolves natively.  A
+#: program containing any other (sub)class falls back to the scalar walk,
+#: which calls ``outcome`` per event and is therefore always exact.
+_VECTOR_BEHAVIOR_TYPES = (
+    BiasedBehavior,
+    BurstyBehavior,
+    FormulaBehavior,
+    SparseHistoryBehavior,
+    PatternBehavior,
+    LoopBehavior,
+    LocalBehavior,
+)
+
+
+def _phase_arrays(program: Program) -> Tuple:
+    """Flattened request/function geometry for the vector walk."""
+    key = (program.spec.name, program.spec.seed)
+    arrays = _phase_array_cache.get(key)
+    if arrays is None:
+        requests = program.requests
+        req_len = np.fromiter(
+            (len(r) for r in requests), dtype=np.int64, count=len(requests)
+        )
+        req_starts = np.cumsum(req_len) - req_len
+        req_flat = (
+            np.concatenate([np.asarray(r, dtype=np.int64) for r in requests])
+            if requests
+            else np.empty(0, dtype=np.int64)
+        )
+        func_first = np.fromiter(
+            (f.first_block for f in program.functions),
+            dtype=np.int64,
+            count=program.n_functions,
+        )
+        func_len = np.fromiter(
+            (f.n_blocks for f in program.functions),
+            dtype=np.int64,
+            count=program.n_functions,
+        )
+        arrays = (req_flat, req_starts, req_len, func_first, func_len)
+        _phase_array_cache[key] = arrays
+    return arrays
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + c) for s, c in zip(starts, counts)])``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(starts, counts) + (np.arange(total, dtype=np.int64) - offsets)
+
+
+def _walk_scalar(
+    program: Program,
     spec: AppSpec,
-    input_id: int = 0,
-    n_events: int = 200_000,
-    use_cache: bool = True,
-) -> Trace:
-    """Generate (or fetch) the dynamic trace for one (app, input) pair."""
-    key = (spec.name, spec.seed, input_id, n_events)
-    if use_cache and key in _trace_cache:
-        return _trace_cache[key]
-
-    program = get_program(spec)
-    program.reset_behaviors()
-    overrides = _drifted_behaviors(program, input_id)
-
-    behaviors = list(program.behaviors)
-    for block, replacement in overrides.items():
-        behaviors[block] = replacement
-
-    rng = _input_rng(spec, input_id, salt=2)
+    behaviors: List,
+    rng: np.random.Generator,
+    n_events: int,
+    request_rank: np.ndarray,
+    request_zipf: np.ndarray,
+    func_zipf: np.ndarray,
+    avg_request_blocks: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference event walk: one ``outcome`` call per conditional event."""
     n_functions = program.n_functions
     n_requests = max(1, len(program.requests))
-
-    # Per-input hotness of *request types*: a perturbation of the
-    # canonical ranking, not a full reshuffle — real services keep
-    # roughly the same hot requests across inputs, with a moderate number
-    # rising or falling (this is what Fig 17's input sensitivity
-    # measures).  Input 0 is the canonical ranking.
-    if input_id == 0:
-        request_rank = np.arange(n_requests)
-    else:
-        jitter = rng.normal(0.0, 0.35 * n_requests, size=n_requests)
-        request_rank = np.argsort(np.arange(n_requests) + jitter)
-    request_zipf = _zipf_weights(n_requests, spec.request_zipf)
-    func_zipf = _zipf_weights(n_functions, spec.zipf_exponent)
-
-    avg_request_blocks = max(
-        1.0,
-        float(np.mean([len(r) for r in program.requests]) if program.requests else 1.0)
-        * (program.n_blocks / n_functions),
-    )
-
     block_ids = np.empty(n_events, dtype=np.int32)
     taken = np.empty(n_events, dtype=bool)
     uniforms = rng.random(n_events + 16)
@@ -211,6 +247,240 @@ def generate_trace(
                     break
             if stop:
                 break
+    return block_ids, taken
+
+
+def _walk_vector(
+    program: Program,
+    spec: AppSpec,
+    behaviors: List,
+    rng: np.random.Generator,
+    n_events: int,
+    request_rank: np.ndarray,
+    request_zipf: np.ndarray,
+    func_zipf: np.ndarray,
+    avg_request_blocks: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised event walk; replicates ``_walk_scalar`` bit for bit.
+
+    The walk splits into two passes.  Pass 1 assembles the basic-block
+    stream: the per-phase RNG draws are issued in exactly the scalar
+    order (uniform pool, function permutation, request ranking, request
+    sequence, filler decisions), then the request -> function -> block
+    expansion collapses into two gather operations because every function
+    is a consecutive block range.  Outcomes cannot change which blocks
+    execute, so this pass is outcome-free.
+
+    Pass 2 resolves conditional outcomes.  Event ``k``'s uniform draw is
+    ``uniforms[k]`` over conditional events in order, independent of the
+    outcomes themselves, so behaviours can be resolved out of order:
+    stateless and self-stateful behaviours (biased, pattern, loop,
+    bursty, local) are grouped per block and resolved either closed-form
+    or with a per-block loop, while history-dependent behaviours
+    (formula, sparse) run in one sequential pass that reads already
+    resolved outcome bits — the only true sequential dependency in the
+    generator.
+    """
+    n_functions = program.n_functions
+    n_requests = max(1, len(program.requests))
+    req_flat, req_starts, req_len, func_first, func_len = _phase_arrays(program)
+    filler_prob = spec.filler_prob
+    uniforms = rng.random(n_events + 16)
+
+    hot_cut = max(1, int(0.08 * n_functions))
+    chunks: List[np.ndarray] = []
+    assembled = 0
+    phase = 0
+    while assembled < n_events:
+        perm = np.arange(n_functions)
+        if phase > 0:
+            rest = perm[hot_cut:]
+            order = np.argsort(
+                np.arange(len(rest)) + rng.normal(0.0, spec.phase_shift * len(rest), len(rest))
+            )
+            perm[hot_cut:] = rest[order]
+        filler_weights = np.empty(n_functions, dtype=np.float64)
+        filler_weights[perm] = func_zipf
+
+        if phase == 0:
+            phase_request_rank = request_rank
+        else:
+            order = np.argsort(
+                np.arange(n_requests)
+                + rng.normal(0.0, spec.phase_shift * n_requests, n_requests)
+            )
+            phase_request_rank = request_rank[order]
+        req_weights = np.empty(n_requests, dtype=np.float64)
+        req_weights[phase_request_rank] = request_zipf
+        n_draws = max(1, int(spec.phase_events / avg_request_blocks))
+        req_seq = rng.choice(n_requests, size=n_draws, p=req_weights)
+        counts = req_len[req_seq]
+        total_slots = int(counts.sum()) + 1
+        filler_mask = rng.random(total_slots) < filler_prob
+        filler_funcs = rng.choice(n_functions, size=total_slots, p=filler_weights)
+        phase += 1
+
+        # The trailing slot is pre-drawn but never consumed (scalar walk
+        # increments ``slot`` once per skeleton function only).
+        skeleton = req_flat[_concat_ranges(req_starts[req_seq], counts)]
+        used = total_slots - 1
+        func_seq = np.where(filler_mask[:used], filler_funcs[:used], skeleton)
+        blocks = _concat_ranges(func_first[func_seq], func_len[func_seq])
+        if blocks.size == 0:
+            raise RuntimeError("phase produced no events; program has empty requests")
+        chunks.append(blocks)
+        assembled += blocks.size
+
+    block_ids = np.concatenate(chunks)[:n_events].astype(np.int32)
+
+    # Pass 2: conditional outcome resolution.
+    cond_pos = np.flatnonzero(program.is_conditional[block_ids])
+    n_cond = int(cond_pos.size)
+    u_col = uniforms[:n_cond]
+    out = np.zeros(n_cond, dtype=np.uint8)
+    deferred: List[Tuple[np.ndarray, object]] = []
+
+    cond_blocks = block_ids[cond_pos]
+    order = np.argsort(cond_blocks, kind="stable")
+    sorted_blocks = cond_blocks[order]
+    bounds = np.flatnonzero(np.diff(sorted_blocks)) + 1
+    for grp in np.split(order, bounds):
+        if grp.size == 0:
+            continue
+        beh = behaviors[int(cond_blocks[grp[0]])]
+        kind = type(beh)
+        if kind is BiasedBehavior:
+            out[grp] = u_col[grp] < beh.p
+        elif kind is LoopBehavior:
+            # count cycles mod trip; outcome is False exactly when the
+            # incremented count hits the trip boundary.
+            seq = (beh._count + 1 + np.arange(grp.size, dtype=np.int64)) % beh.trip
+            out[grp] = seq != 0
+            beh._count = int((beh._count + grp.size) % beh.trip)
+        elif kind is PatternBehavior:
+            bits = np.fromiter(
+                (((beh.pattern >> k) & 1) for k in range(beh.period)),
+                dtype=np.uint8,
+                count=beh.period,
+            )
+            out[grp] = bits[(beh._pos + np.arange(grp.size, dtype=np.int64)) % beh.period]
+            beh._pos = int((beh._pos + grp.size) % beh.period)
+        elif kind is BurstyBehavior or kind is LocalBehavior:
+            # Stateful but blind to global history: replay the block's own
+            # event stream in order through the real behaviour object.
+            outcome = beh.outcome
+            out[grp] = [outcome(0, u) for u in u_col[grp].tolist()]
+        else:
+            deferred.append((grp, beh))
+
+    if deferred:
+        # History-dependent behaviours.  The conditional outcome stream
+        # *is* the global history (bit d of the history before event i is
+        # out[i - 1 - d]), and every non-deferred outcome is already in
+        # place, so one ordered pass over deferred events suffices.
+        pairs = sorted(
+            (int(i), beh) for grp, beh in deferred for i in grp.tolist()
+        )
+        u_list = u_col.tolist()
+        for i, beh in pairs:
+            if type(beh) is SparseHistoryBehavior:
+                key = 0
+                for j, pos in enumerate(beh.positions):
+                    src = i - 1 - pos
+                    if src >= 0 and out[src]:
+                        key |= 1 << j
+                value = bool((beh.table >> key) & 1)
+                if beh.noise and u_list[i] < beh.noise:
+                    value = not value
+            else:  # FormulaBehavior
+                length = beh.length
+                window = out[i - length if i >= length else 0 : i]
+                if window.size:
+                    # Chronological bits pack MSB-first; shifting off the
+                    # pad leaves the most recent outcome at bit 0.
+                    history = int.from_bytes(
+                        np.packbits(window).tobytes(), "big"
+                    ) >> ((-window.size) % 8)
+                else:
+                    history = 0
+                hashed = fold_history(history, length, beh.hash_bits)
+                value = bool(beh.formula.evaluate(hashed))
+                if beh.noise and u_list[i] < beh.noise:
+                    value = not value
+            out[i] = value
+
+    taken = np.ones(n_events, dtype=bool)
+    taken[cond_pos] = out.astype(bool)
+    return block_ids, taken
+
+
+def generate_trace(
+    spec: AppSpec,
+    input_id: int = 0,
+    n_events: int = 200_000,
+    use_cache: bool = True,
+    kernel: Optional[str] = None,
+) -> Trace:
+    """Generate (or fetch) the dynamic trace for one (app, input) pair.
+
+    ``kernel`` selects the event-walk implementation (``"scalar"`` /
+    ``"vector"``); both produce identical traces, so the cache key does
+    not include it.  ``None`` defers to :func:`repro.bpu.runner.resolve_kernel`.
+    """
+    key = (spec.name, spec.seed, input_id, n_events)
+    if use_cache and key in _trace_cache:
+        return _trace_cache[key]
+
+    from ..bpu.runner import resolve_kernel
+
+    mode = resolve_kernel(kernel)
+
+    program = get_program(spec)
+    program.reset_behaviors()
+    overrides = _drifted_behaviors(program, input_id)
+
+    behaviors = list(program.behaviors)
+    for block, replacement in overrides.items():
+        behaviors[block] = replacement
+
+    rng = _input_rng(spec, input_id, salt=2)
+    n_requests = max(1, len(program.requests))
+
+    # Per-input hotness of *request types*: a perturbation of the
+    # canonical ranking, not a full reshuffle — real services keep
+    # roughly the same hot requests across inputs, with a moderate number
+    # rising or falling (this is what Fig 17's input sensitivity
+    # measures).  Input 0 is the canonical ranking.
+    if input_id == 0:
+        request_rank = np.arange(n_requests)
+    else:
+        jitter = rng.normal(0.0, 0.35 * n_requests, size=n_requests)
+        request_rank = np.argsort(np.arange(n_requests) + jitter)
+    request_zipf = _zipf_weights(n_requests, spec.request_zipf)
+    func_zipf = _zipf_weights(program.n_functions, spec.zipf_exponent)
+
+    avg_request_blocks = max(
+        1.0,
+        float(np.mean([len(r) for r in program.requests]) if program.requests else 1.0)
+        * (program.n_blocks / program.n_functions),
+    )
+
+    vectorizable = program.requests and all(
+        type(behaviors[block]) in _VECTOR_BEHAVIOR_TYPES
+        for block in np.flatnonzero(program.is_conditional)
+    )
+    walk = _walk_vector if (mode == "vector" and vectorizable) else _walk_scalar
+    block_ids, taken = walk(
+        program,
+        spec,
+        behaviors,
+        rng,
+        n_events,
+        request_rank,
+        request_zipf,
+        func_zipf,
+        avg_request_blocks,
+    )
 
     trace = Trace(
         program=program,

@@ -100,3 +100,42 @@ class TestArtifactKey:
 
     def test_fingerprint_length(self):
         assert len(fingerprint({"a": 1})) == keys.DIGEST_CHARS
+
+
+class TestKernelFields:
+    """Kernel-choice propagation into store keys (vector-kernel PR)."""
+
+    def test_kernels_share_the_cache_by_default(self, monkeypatch):
+        """Bit-identical kernels must map to the same artifact keys, so
+        a cache warmed under one REPRO_KERNEL serves the other."""
+        assert keys.KERNEL_AFFECTS_ARTIFACTS is False
+        assert keys.kernel_fields() == {}
+        spec = get_spec("mysql")
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        scalar_key = artifact_key(
+            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        )
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        vector_key = artifact_key(
+            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        )
+        assert scalar_key == vector_key
+
+    def test_divergent_kernels_would_split_the_cache(self, monkeypatch):
+        monkeypatch.setattr(keys, "KERNEL_AFFECTS_ARTIFACTS", True)
+        spec = get_spec("mysql")
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        assert keys.kernel_fields() == {"kernel": "scalar"}
+        scalar_key = artifact_key(
+            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        )
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        vector_key = artifact_key(
+            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        )
+        assert scalar_key != vector_key
+
+    def test_schema_is_v2_for_vector_kernel_timing(self):
+        """The timing recomposition changed cycle float association; v1
+        timing artifacts must be unreachable."""
+        assert keys.CODE_SCHEMA_VERSION >= 2
