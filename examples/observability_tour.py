@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tour of the observability layer: spans, counters, traces, reports.
+
+Every expensive stage of the pipeline — trace generation, predictor
+replay, Whisper training — records spans and counters through
+``repro.obs``.  This example drives a small pipeline by hand and then
+inspects what the instrumentation saw:
+
+* run trace generation + baseline replay + Whisper training under a
+  fresh recorder and print the span tree the stages produced,
+* show the counter totals (events replayed, formulas tested, hints),
+* write the events to a JSONL trace file and render the same summary
+  the ``repro trace`` CLI prints for a ``run-all``,
+* demonstrate the ``REPRO_OBS=off`` no-op path.
+
+Run:  python examples/observability_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import obs, scaled_tage_sc_l, simulate
+from repro.core.whisper import WhisperOptimizer
+from repro.obs.report import summarize, summary_lines
+from repro.profiling import BranchProfile
+from repro.workloads.generator import generate_trace, get_program
+from repro.workloads.registry import get_spec
+
+APP = "cassandra"
+N_EVENTS = 50_000
+WARMUP = 0.3
+
+
+def run_pipeline() -> None:
+    """One app through generate -> baseline -> train -> optimized run."""
+    spec = get_spec(APP)
+    program = get_program(spec)
+    train = generate_trace(spec, 0, N_EVENTS, use_cache=False)
+    test = generate_trace(spec, 1, N_EVENTS, use_cache=False)
+
+    profile = BranchProfile.collect([train], lambda: scaled_tage_sc_l(64))
+    _, _, runtime = WhisperOptimizer().optimize(profile, program)
+
+    base = simulate(test, scaled_tage_sc_l(64)).with_warmup(WARMUP)
+    run = simulate(test, scaled_tage_sc_l(64), runtime=runtime).with_warmup(WARMUP)
+    print(f"pipeline: {APP}, {N_EVENTS:,} events/trace, "
+          f"{run.misprediction_reduction(base):.1f}% misprediction reduction")
+
+
+def main() -> None:
+    # --- record a pipeline -------------------------------------------------
+    obs.configure(enabled=True)  # fresh recorder, ignore REPRO_OBS
+    with obs.span("tour", app=APP):
+        run_pipeline()
+
+    counters = obs.recorder().counters()
+    events = obs.drain()
+
+    # --- the span tree -----------------------------------------------------
+    print("\nspan tree (spans >= 5 ms):")
+    print(obs.format_tree(events, min_wall=0.005))
+
+    # --- counters ----------------------------------------------------------
+    print("\ncounters:")
+    for name, value in sorted(counters.items()):
+        print(f"  {name:<28s} {value:>14,.0f}")
+
+    # --- trace file + summary (what `repro trace summarize` renders) -------
+    with tempfile.TemporaryDirectory() as td:
+        path = obs.write_events(Path(td) / obs.TRACE_NAME, events)
+        loaded = obs.read_events(path)
+        print(f"\ntrace file: {len(loaded)} events, "
+              f"{path.stat().st_size:,} bytes")
+    print("\nsummary (no task events here, so stages = top-level spans):")
+    for line in summary_lines(summarize(events)):
+        print(line)
+
+    # --- the off switch ----------------------------------------------------
+    obs.configure(enabled=False)
+    with obs.span("invisible"):
+        pass
+    obs.add("invisible.counter")
+    assert obs.drain() == [], "disabled recorder must record nothing"
+    print("\nREPRO_OBS=off path: spans and counters collapse to no-ops")
+    obs.configure_from_env()
+
+
+if __name__ == "__main__":
+    main()

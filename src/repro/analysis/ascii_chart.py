@@ -47,6 +47,44 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def gantt(
+    rows: Sequence[tuple],
+    width: int = 64,
+    unit: str = "s",
+) -> str:
+    """ASCII Gantt chart: ``rows`` are ``(label, start, end)`` tuples.
+
+    Used by ``repro trace timeline`` to show task execution across the
+    worker pool.  The time axis spans the earliest start to the latest
+    end; each row renders its active interval as a bar, so concurrency
+    (overlapping bars) and serialisation (a staircase) are visible at a
+    glance.  Sub-cell intervals still draw one glyph so short tasks
+    never disappear.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    if not rows:
+        return "(no intervals)"
+    t0 = min(float(start) for _, start, _ in rows)
+    t1 = max(float(end) for _, _, end in rows)
+    span = (t1 - t0) or 1.0
+    label_width = min(32, max(len(str(label)) for label, _, _ in rows))
+    scale = width / span
+
+    lines = []
+    for label, start, end in rows:
+        begin = int((float(start) - t0) * scale)
+        finish = max(begin + 1, int((float(end) - t0) * scale))
+        bar = _EMPTY * begin + _FULL * (finish - begin)
+        lines.append(
+            f"{str(label)[:label_width].rjust(label_width)} |{bar.ljust(width)}| "
+            f"{float(end) - float(start):.2f}{unit}"
+        )
+    axis = f"{'':>{label_width}} |{'0'.ljust(width - len(f'{span:.1f}'))}"
+    lines.append(axis + f"{span:.1f}| {unit} since start")
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[Number]) -> str:
     """One-line trend rendering (size sweeps, warm-up curves)."""
     if not values:

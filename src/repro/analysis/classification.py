@@ -40,6 +40,7 @@ CLASSES = ("compulsory", "capacity", "conflict", "conditional-on-data")
 
 @dataclass
 class ClassificationResult:
+    """Per-category misprediction attribution for one app."""
     counts: Dict[str, int]
 
     @property
@@ -47,6 +48,7 @@ class ClassificationResult:
         return sum(self.counts.values())
 
     def shares(self) -> Dict[str, float]:
+        """Each category's share of total mispredictions, in percent."""
         total = self.total
         if total == 0:
             return {name: 0.0 for name in CLASSES}

@@ -22,6 +22,7 @@ BUCKETS = (
 
 
 def bucket_of_length(length: int) -> str:
+    """Name of the history-length bucket a correlation depth falls in."""
     if length <= 8:
         return "1-8"
     if length <= 16:

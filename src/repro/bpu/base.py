@@ -79,6 +79,7 @@ class FoldedHistory:
         self._mask = (1 << width) - 1
 
     def update(self, new_bit: int, old_bit: int) -> None:
+        """Shift one history bit in and fold the expiring bit back out."""
         comp = (self.comp << 1) | new_bit
         comp ^= old_bit << self._outpoint
         comp ^= comp >> self.width

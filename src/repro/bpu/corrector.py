@@ -41,6 +41,7 @@ class StatisticalCorrector:
         self._last = None
 
     def reset(self) -> None:
+        """Zero the correction tables and the statistical corrector's history."""
         for table in self._tables:
             for i in range(len(table)):
                 table[i] = 0
@@ -75,6 +76,7 @@ class StatisticalCorrector:
         return pred
 
     def update(self, pc: int, taken: bool) -> None:
+        """Saturating-counter update of the indexed entries toward the outcome."""
         if self._last is None:
             self.predict(pc, True, 1)
         indices, total, pred = self._last

@@ -48,6 +48,7 @@ class LoopPredictor:
         return entry.count + 1 <= entry.trip
 
     def update(self, pc: int, taken: bool, tage_mispredicted: bool, allocate: bool = True) -> None:
+        """Learn loop trip counts; allocate entries on TAGE mispredictions."""
         entry = self._table.get(pc)
         if entry is None:
             if tage_mispredicted and allocate:

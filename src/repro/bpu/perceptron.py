@@ -45,6 +45,7 @@ class PerceptronPredictor(BranchPredictor):
         self._last = None
 
     def reset(self) -> None:
+        """Zero every weight table and clear the global history."""
         for weights in self._weights:
             for i in range(len(weights)):
                 weights[i] = 0
@@ -71,11 +72,13 @@ class PerceptronPredictor(BranchPredictor):
         return total
 
     def predict(self, pc: int) -> bool:
+        """Predict taken when the summed weighted history is non-negative."""
         y = self._output(pc)
         self._last = (pc, y)
         return y >= 0
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """Train on threshold failure or mispredict; shift the outcome into history."""
         if self._last is None or self._last[0] != pc:
             self.predict(pc)
         _, y = self._last

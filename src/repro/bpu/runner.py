@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..profiling.trace import Trace
 from .base import BranchPredictor
 
@@ -136,6 +137,7 @@ class PredictionResult:
 
     @property
     def accuracy(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
         mask = self._measured_mask()
         total = int(mask.sum())
         return float(self.correct[mask].sum() / total) if total else 1.0
@@ -360,23 +362,26 @@ def _simulate_vector(
         hinted = np.zeros(batch.n, dtype=bool)
         hint_preds = np.zeros(batch.n, dtype=bool)
     else:
-        result = None
-        predict_batch = getattr(runtime, "predict_batch", None)
-        if predict_batch is not None:
-            result = predict_batch(batch)
-        if result is None:
-            result = _scalar_hint_pass(trace, runtime)
-        hinted, hint_preds = result
+        with obs.span("replay.hint_pass", runtime=type(runtime).__name__):
+            result = None
+            predict_batch = getattr(runtime, "predict_batch", None)
+            if predict_batch is not None:
+                result = predict_batch(batch)
+            if result is None:
+                result = _scalar_hint_pass(trace, runtime)
+            hinted, hint_preds = result
 
     kernel_fn = kernel_for(predictor)
-    if kernel_fn is None:
-        correct = _scalar_replay(
-            batch, predictor, hinted, hint_preds, suppress_hint_allocation
-        )
-    else:
-        correct = kernel_fn(
-            predictor, batch, hinted, hint_preds, suppress_hint_allocation
-        )
+    kernel_name = kernel_fn.__name__ if kernel_fn is not None else "_scalar_replay"
+    with obs.span("replay.kernel", kernel=kernel_name, n=batch.n):
+        if kernel_fn is None:
+            correct = _scalar_replay(
+                batch, predictor, hinted, hint_preds, suppress_hint_allocation
+            )
+        else:
+            correct = kernel_fn(
+                predictor, batch, hinted, hint_preds, suppress_hint_allocation
+            )
     return correct, hinted, batch.cond_event_indices
 
 
@@ -400,14 +405,26 @@ def simulate(
     session default as an escape hatch.
     """
     mode = resolve_kernel(kernel)
-    if mode == "vector":
-        correct, hinted, cond_event_indices = _simulate_vector(
-            trace, predictor, runtime, suppress_hint_allocation
-        )
-    else:
-        correct, hinted, cond_event_indices = _simulate_scalar(
-            trace, predictor, runtime, suppress_hint_allocation
-        )
+    with obs.span(
+        "replay",
+        app=trace.app,
+        predictor=predictor.name,
+        kernel=mode,
+        n_events=trace.n_events,
+        runtime=type(runtime).__name__ if runtime is not None else "",
+    ):
+        if mode == "vector":
+            correct, hinted, cond_event_indices = _simulate_vector(
+                trace, predictor, runtime, suppress_hint_allocation
+            )
+        else:
+            correct, hinted, cond_event_indices = _simulate_scalar(
+                trace, predictor, runtime, suppress_hint_allocation
+            )
+    obs.add("replay.runs")
+    obs.add("replay.events", int(trace.n_events))
+    obs.add("replay.conditionals", int(len(correct)))
+    obs.add("replay.hinted", int(hinted.sum()))
 
     cutoff = int(len(correct) * warmup_fraction)
     if cutoff > 0:

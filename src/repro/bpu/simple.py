@@ -28,6 +28,7 @@ class IdealPredictor(BranchPredictor):
         return True
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """No-op: the runner feeds the resolved outcome directly."""
         pass
 
     def reset(self) -> None:
@@ -46,6 +47,7 @@ class StaticTakenPredictor(BranchPredictor):
         return self.direction
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """No-op: a static prediction never learns."""
         pass
 
     def reset(self) -> None:
@@ -69,6 +71,7 @@ class BimodalPredictor(BranchPredictor):
         return self._table[self._index(pc)] >= 0
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """Train the 2-bit counter toward the observed direction."""
         idx = self._index(pc)
         ctr = self._table[idx]
         if taken:
@@ -107,6 +110,7 @@ class GSharePredictor(BranchPredictor, GlobalHistoryMixin):
         return self._table[self._index(pc)] >= 0
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """Update the history-XOR-indexed counter and the global history."""
         idx = self._index(pc)
         ctr = self._table[idx]
         if taken:

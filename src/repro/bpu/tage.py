@@ -192,6 +192,7 @@ class TagePredictor(BranchPredictor, GlobalHistoryMixin):
 
     # ------------------------------------------------------------------
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """TAGE update: train provider/alt counters, manage usefulness, allocate."""
         if self._last_pc == pc and self._last_state is not None:
             state = self._last_state
         else:  # cold update path (e.g. tests calling update directly)

@@ -47,6 +47,7 @@ class TageScLPredictor(BranchPredictor):
         self._last = None
 
     def reset(self) -> None:
+        """Reset all three components (TAGE, SC, loop) to power-on state."""
         self.tage.reset()
         self.sc.reset()
         self.loop.reset()
@@ -58,6 +59,7 @@ class TageScLPredictor(BranchPredictor):
 
     # ------------------------------------------------------------------
     def predict(self, pc: int) -> bool:
+        """Compose the final prediction: loop overrides, then SC vets TAGE."""
         tage_pred, provider, p_ctr, conf = self.tage.predict_full(pc)
         loop_pred = self.loop.predict(pc)
         # SC state advances on every branch, but its verdict only matters
@@ -75,6 +77,7 @@ class TageScLPredictor(BranchPredictor):
         return final
 
     def update(self, pc: int, taken: bool, allocate: bool = True) -> None:
+        """Propagate the outcome to whichever components spoke for this branch."""
         if self._last is None or self._last[0] != pc:
             self.predict(pc)
         _, tage_pred, final, _ = self._last

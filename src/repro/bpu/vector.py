@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..profiling.trace import Trace
 from .base import BranchPredictor, FoldedHistory
 from .loop import _CONF_MAX as _LOOP_CONF_MAX
@@ -111,10 +112,16 @@ class ReplayBatch:
         self.derived: Dict = {}
 
     def cached(self, key, build):
-        """Memoise ``build()`` under ``key`` in :attr:`derived`."""
+        """Memoise ``build()`` under ``key`` in :attr:`derived`.
+
+        Column builds are the trace-pure setup chunks of a vector
+        replay, so each first build records an observability span;
+        cache hits stay span-free (they cost a dict lookup).
+        """
         val = self.derived.get(key)
         if val is None:
-            val = self.derived[key] = build()
+            with obs.span("replay.columns", key=str(key), n=self.n):
+                val = self.derived[key] = build()
         return val
 
     def taken_list(self) -> list:

@@ -21,6 +21,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+
 #: Default token-history window length.
 DEFAULT_HISTORY = 48
 #: Token vocabulary (hashed PC x direction).
@@ -44,6 +46,7 @@ def tokenize(pcs: np.ndarray, directions: np.ndarray, vocab: int = DEFAULT_VOCAB
 
 @dataclass
 class CnnConfig:
+    """Hyper-parameters of one BranchNet CNN instance."""
     history: int = DEFAULT_HISTORY
     vocab: int = DEFAULT_VOCAB
     embed_dim: int = 8
@@ -132,11 +135,14 @@ class BranchNetModel:
             return 0.0
         rng = np.random.default_rng(c.seed + 1)
         epochs = c.epochs if epochs is None else epochs
-        for _ in range(epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, c.batch_size):
-                batch = order[start : start + c.batch_size]
-                self._step(tokens[batch], labels[batch])
+        for epoch in range(epochs):
+            with obs.span("cnn.epoch", epoch=epoch, samples=n):
+                order = rng.permutation(n)
+                for start in range(0, n, c.batch_size):
+                    batch = order[start : start + c.batch_size]
+                    self._step(tokens[batch], labels[batch])
+            obs.add("cnn.epochs")
+        obs.add("cnn.samples", n * epochs)
         prob = self.predict_batch(tokens)
         return float(((prob >= 0.5) == (labels >= 0.5)).mean())
 

@@ -29,6 +29,7 @@ class BranchNetRuntime(HintRuntime):
             self._vocab = 0
 
     def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        """CNN inference for a hinted PC; None defers to the BPU."""
         model = self.models.get(pc)
         if model is None:
             return None

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..profiling.profile import BranchProfile
 from ..core.training import select_candidates
 from .cnn import BranchNetModel, CnnConfig, tokenize
@@ -114,7 +115,24 @@ class BranchNetOptimizer:
         self.validation_fraction = validation_fraction
 
     def train(self, profile: BranchProfile) -> BranchNetResult:
+        """Train CNNs for the profile's top mispredicting branches.
+
+        Traced end to end under the ``branchnet.train`` span; the
+        returned result carries the measured training seconds."""
         start = time.perf_counter()
+        with obs.span(
+            "branchnet.train",
+            app=profile.app,
+            budget=self.budget_bytes or 0,
+        ):
+            result = self._train(profile)
+        obs.add("branchnet.candidates", result.candidates_considered)
+        obs.add("branchnet.trained", result.trained)
+        obs.add("branchnet.rejected", result.rejected)
+        result.training_seconds = time.perf_counter() - start
+        return result
+
+    def _train(self, profile: BranchProfile) -> BranchNetResult:
         candidates = select_candidates(
             profile.per_pc,
             min_mispredictions=self.min_mispredictions,
@@ -140,7 +158,8 @@ class BranchNetOptimizer:
             train_l, val_l = labels[:-n_val], labels[-n_val:]
             if len(train_l) == 0:
                 continue
-            model.train(train_w, train_l)
+            with obs.span("branchnet.model", pc=int(pc), samples=len(train_l)):
+                model.train(train_w, train_l)
             result.trained += 1
             result.work_units += (
                 model.n_parameters * len(train_l) * self.cnn_config.epochs
@@ -156,5 +175,4 @@ class BranchNetOptimizer:
                     budget_left -= model.storage_bytes
             else:
                 result.rejected += 1
-        result.training_seconds = time.perf_counter() - start
         return result

@@ -27,6 +27,12 @@ Commands
     Time the scalar vs vector replay kernels and append a row to the
     tracked benchmark history (``benchmarks/perf/BENCH_kernels.json``);
     ``--check`` compares speedups against a baseline row for CI.
+``trace {summarize,timeline,critical-path,tree}``
+    Render the observability trace (``benchmarks/results/trace.jsonl``)
+    a ``run-all`` leaves behind: per-stage wall/CPU tables
+    (``--markdown`` emits the EXPERIMENTS.md form), an ASCII Gantt
+    timeline, the critical path through the task graph, or the raw
+    span tree.  ``REPRO_OBS=off`` disables recording entirely.
 
 The global ``--kernel {scalar,vector}`` flag (before the subcommand)
 forces one replay-kernel implementation for the whole invocation — the
@@ -241,7 +247,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.report import critical_path_lines, summarize, summary_lines, timeline_lines
+    from .obs.trace import format_tree, read_events
+
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        print(f"no trace at {path} — run `repro run-all` first "
+              f"(or pass --trace)")
+        return 2
+    try:
+        events = read_events(path)
+    except ValueError as error:
+        print(error)
+        return 2
+    if not events:
+        print(f"{path} is empty")
+        return 2
+
+    if args.view == "summarize":
+        lines = summary_lines(summarize(events), markdown=args.markdown)
+    elif args.view == "timeline":
+        lines = timeline_lines(events, width=args.width)
+    elif args.view == "critical-path":
+        lines = critical_path_lines(events)
+    else:  # tree
+        lines = format_tree(
+            events, max_depth=args.depth, min_wall=args.min_ms / 1000.0
+        ).splitlines()
+    for line in lines:
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree for the `repro` entry point."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Whisper (MICRO 2022) reproduction toolkit"
     )
@@ -339,10 +379,41 @@ def build_parser() -> argparse.ArgumentParser:
         "on a >30%% regression (CI perf smoke)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="render the observability trace of the last run-all"
+    )
+    trace.add_argument(
+        "view",
+        choices=("summarize", "timeline", "critical-path", "tree"),
+        help="summarize: per-stage tables; timeline: ASCII Gantt; "
+        "critical-path: the task chain bounding the wall clock; "
+        "tree: the raw span forest",
+    )
+    trace.add_argument(
+        "--trace", default="benchmarks/results/trace.jsonl",
+        help="trace file written by run-all",
+    )
+    trace.add_argument(
+        "--markdown", action="store_true",
+        help="summarize as Markdown tables (EXPERIMENTS.md form)",
+    )
+    trace.add_argument(
+        "--width", type=int, default=64, help="timeline bar width in columns"
+    )
+    trace.add_argument(
+        "--depth", type=int, default=None, help="tree: maximum nesting depth"
+    )
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="tree: hide spans shorter than this many milliseconds",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.kernel:

@@ -63,6 +63,7 @@ class HintBuffer:
         return len(self._entries)
 
     def clear(self) -> None:
+        """Empty the buffer and zero the load/hit/eviction counters."""
         self._entries.clear()
         self.loads = 0
         self.hits = 0
@@ -82,6 +83,7 @@ class HintBuffer:
         self._entries[branch_pc] = entry
 
     def lookup(self, branch_pc: int) -> Optional[_BufferEntry]:
+        """LRU lookup; counts a hit and refreshes recency when present."""
         entry = self._entries.get(branch_pc)
         if entry is not None:
             self.hits += 1
@@ -121,6 +123,7 @@ class WhisperRuntime(HintRuntime):
                 self.buffer.load(branch_pc, entry)
 
     def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        """Evaluate the hinted formula for a PC; None defers to the BPU."""
         entry = self.buffer.lookup(pc)
         if entry is None:
             return None
@@ -219,6 +222,7 @@ class TableHintRuntime(HintRuntime):
         self.table = table
 
     def predict(self, pc: int, ctx: RunContext) -> Optional[bool]:
+        """Look up the precomputed hint table; None defers to the BPU."""
         entry = self.table.get(pc)
         if entry is None:
             return None

@@ -65,6 +65,7 @@ class BrHint:
 
     @classmethod
     def decode(cls, value: int) -> "BrHint":
+        """Unpack a 32-bit brhint instruction word into its fields."""
         if not 0 <= value < (1 << TOTAL_BITS):
             raise ValueError(f"encoded brhint out of {TOTAL_BITS}-bit range")
         pc_offset = value & ((1 << PC_BITS) - 1)

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .formulas import (
     WHISPER_OPS,
     FormulaTree,
@@ -196,6 +197,10 @@ class FormulaSearch:
             if total_taken < best_errors:
                 bias, best_errors, best_formula = "not-taken", total_taken, None
         elapsed = time.perf_counter() - start
+        obs.add("search.branches")
+        obs.add("search.formulas_tested", len(encodings))
+        if bias is not None:
+            obs.add("search.bias_wins")
         return SearchResult(
             formula=best_formula,
             mispredictions=best_errors,

@@ -39,6 +39,7 @@ class BranchTrainingData:
             self.nottaken.setdefault(length, {})
 
     def add_sample(self, folds: Sequence[int], taken: bool) -> None:
+        """Record one (folded histories -> direction) training sample."""
         self.executions += 1
         tables = self.taken if taken else self.nottaken
         if taken:

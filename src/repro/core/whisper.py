@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..profiling.profile import BranchProfile
 from ..profiling.trace import Trace
 from ..workloads.program import Program
@@ -163,27 +164,31 @@ class WhisperOptimizer:
         """Run the offline branch analysis over a profile."""
         start = time.perf_counter()
         config = self.config
-        candidates = select_candidates(
-            profile.per_pc,
-            min_mispredictions=config.min_mispredictions,
-            min_executions=config.min_executions,
-            max_candidates=config.max_candidates,
-        )
-        data = collect_training_data(
-            profile.traces, candidates, self._lengths, config.hash_bits, config.hash_op
-        )
+        with obs.span("whisper.train", app=profile.app):
+            candidates = select_candidates(
+                profile.per_pc,
+                min_mispredictions=config.min_mispredictions,
+                min_executions=config.min_executions,
+                max_candidates=config.max_candidates,
+            )
+            data = collect_training_data(
+                profile.traces, candidates, self._lengths, config.hash_bits,
+                config.hash_op,
+            )
 
-        result = WhisperResult(candidates_considered=len(candidates))
-        explored = len(self._search.candidates)
-        for pc in candidates:
-            branch_data = data[pc]
-            for length in self._lengths:
-                taken, nottaken = branch_data.tables_for(length)
-                result.work_units += explored * (len(taken) + len(nottaken))
-            trained = self._train_branch(branch_data, profile.per_pc[pc][1])
-            if trained is not None:
-                result.hints[pc] = trained
-                result.formulas_explored += trained.result.explored
+            result = WhisperResult(candidates_considered=len(candidates))
+            explored = len(self._search.candidates)
+            for pc in candidates:
+                branch_data = data[pc]
+                for length in self._lengths:
+                    taken, nottaken = branch_data.tables_for(length)
+                    result.work_units += explored * (len(taken) + len(nottaken))
+                trained = self._train_branch(branch_data, profile.per_pc[pc][1])
+                if trained is not None:
+                    result.hints[pc] = trained
+                    result.formulas_explored += trained.result.explored
+        obs.add("whisper.candidates", result.candidates_considered)
+        obs.add("whisper.hints", len(result.hints))
         result.training_seconds = time.perf_counter() - start
         return result
 

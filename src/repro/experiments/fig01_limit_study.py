@@ -14,6 +14,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 1: Ideal branch predictor limit study (speedup %, split by stall source)."""
     ctx = ctx or global_context()
     rows = []
     totals, squashes, frontends = [], [], []

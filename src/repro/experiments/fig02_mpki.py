@@ -12,6 +12,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 2: Branch-MPKI, 64KB TAGE-SC-L."""
     ctx = ctx or global_context()
     rows = []
     mpkis = []

@@ -15,6 +15,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 3: Misprediction classification (% of all mispredictions)."""
     ctx = ctx or global_context()
     predictor = scaled_tage_sc_l(64)
     entries = predictor.tage.n_tables * (1 << predictor.tage.log_entries)

@@ -17,6 +17,7 @@ TECHNIQUES = ["4b-ROMBF", "8b-ROMBF", "8KB-BranchNet", "32KB-BranchNet", "Unl-Br
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 4: Misprediction reduction (%) of prior profile-guided techniques."""
     ctx = ctx or global_context()
     rows = []
     acc = {name: [] for name in TECHNIQUES}

@@ -16,6 +16,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 5: CDF of mispredictions over static branches (share % at top-N)."""
     ctx = ctx or global_context()
     rows = []
     dc_top50, spec_top50 = [], []

@@ -14,6 +14,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 6: Mispredictions by required history length (% of mispredictions)."""
     ctx = ctx or global_context()
     rows = []
     acc = {bucket: [] for bucket in BUCKETS}

@@ -15,6 +15,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 7: Branch executions by best-formula operation (%)."""
     ctx = ctx or global_context()
     rows = []
     acc = {category: [] for category in CATEGORIES}

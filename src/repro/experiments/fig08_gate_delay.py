@@ -15,6 +15,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 8: Formula evaluator cost vs. history width."""
     rows = []
     for n_inputs in (2, 4, 8, 16):
         tree = FormulaTree(ops=(AND,) * (n_inputs - 1), n_inputs=n_inputs)

@@ -20,6 +20,7 @@ APP = "mysql"
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 10: Whisper's usage model, stage by stage."""
     ctx = ctx or global_context()
     program = ctx.program(APP)
     train_trace = ctx.trace(APP, 0)

@@ -23,6 +23,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 11: brhint instruction fields."""
     rows = [
         ["History", HISTORY_BITS, "index into geometric lengths 8..1024"],
         ["Boolean formula", FORMULA_BITS, "extended-ROMBF ops + inversion"],

@@ -26,6 +26,7 @@ TECHNIQUES = [
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 12: Speedup (%) over 64KB TAGE-SC-L."""
     ctx = ctx or global_context()
     rows = []
     acc = {name: [] for name in TECHNIQUES}

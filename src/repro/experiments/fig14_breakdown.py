@@ -19,6 +19,7 @@ HASHED_ONLY = WhisperConfig(ops=ROMBF_OPS, with_invert=False, explore_fraction=1
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 14: Improvement over 8b-ROMBF (misprediction-reduction points)."""
     ctx = ctx or global_context()
     rows = []
     hashed_gains, op_gains = [], []

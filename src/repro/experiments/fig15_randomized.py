@@ -23,6 +23,7 @@ MAX_CANDIDATES = 250
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 15: Randomized formula testing: reduction and training time vs. % explored."""
     ctx = ctx or global_context()
     rows = []
     full_reduction = None

@@ -18,6 +18,7 @@ APPS: Sequence[str] = ("mysql", "cassandra", "kafka")
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 16: Average offline training cost per application."""
     ctx = ctx or global_context()
     seconds = {"4b-ROMBF": [], "8b-ROMBF": [], "Whisper": [], "BranchNet": []}
     work = {"4b-ROMBF": [], "8b-ROMBF": [], "Whisper": [], "BranchNet": []}

@@ -16,6 +16,7 @@ TEST_INPUTS = (1, 2, 3)
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 17: Misprediction reduction (%): training-input vs same-input profiles."""
     ctx = ctx or global_context()
     rows = []
     cross_all, same_all = [], []

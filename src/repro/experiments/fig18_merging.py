@@ -22,6 +22,7 @@ MERGE_LEVELS = (1, 2, 3, 4, 5)
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 18: Misprediction reduction (%) vs merged profile inputs."""
     ctx = ctx or global_context()
     rows = []
     for level in MERGE_LEVELS:

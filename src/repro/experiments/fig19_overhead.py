@@ -18,6 +18,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 19: brhint overhead: static and dynamic instruction increase (%)."""
     ctx = ctx or global_context()
     rows = []
     statics, dynamics = [], []

@@ -13,6 +13,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 20: Whisper misprediction reduction over 128KB TAGE-SC-L."""
     ctx = ctx or global_context()
     rows = []
     reductions, mpkis = [], []

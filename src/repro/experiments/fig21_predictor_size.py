@@ -16,6 +16,7 @@ APPS: Sequence[str] = ("mysql", "cassandra", "wordpress", "finagle-http")
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 21: Whisper reduction (%) vs baseline TAGE-SC-L size."""
     ctx = ctx or global_context()
     rows = []
     last_reduction = 0.0

@@ -17,6 +17,7 @@ WARMUPS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 22: Whisper reduction (%) vs TAGE-SC-L warm-up fraction."""
     ctx = ctx or global_context()
     rows = []
     at_zero = at_half = 0.0

@@ -18,6 +18,7 @@ APPS: Sequence[str] = ("mysql", "cassandra", "kafka")
 
 
 def run(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Fig 23: Whisper reduction (%) vs simulated trace length."""
     ctx = ctx or global_context()
     rows = []
     final = 0.0

@@ -44,6 +44,7 @@ SCALE_EVENTS = {"small": 40_000, "medium": 120_000, "full": 250_000}
 
 
 def current_scale() -> str:
+    """The REPRO_SCALE name in effect (small / medium / full)."""
     scale = os.environ.get("REPRO_SCALE", "small").lower()
     if scale not in SCALE_EVENTS:
         raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALE_EVENTS)}")
@@ -66,6 +67,7 @@ class FigureResult:
     summary: str = ""
 
     def to_text(self) -> str:
+        """Aligned plain-text table, as written to benchmarks/results."""
         widths = [len(str(h)) for h in self.headers]
         str_rows = [[_fmt(cell) for cell in row] for row in self.rows]
         for row in str_rows:
@@ -145,6 +147,7 @@ class ExperimentContext:
     # Workload side
     # ------------------------------------------------------------------
     def trace(self, app: str, input_id: int = 0, n_events: Optional[int] = None) -> Trace:
+        """The (cached) synthetic trace for one (app, input) pair."""
         n = n_events or self.n_events
         key = (app, input_id, n)
         if key not in self._traces:
@@ -180,6 +183,7 @@ class ExperimentContext:
         input_id: int = 0,
         n_events: Optional[int] = None,
     ) -> PredictionResult:
+        """Cached TAGE-SC-L replay of one (app, input) trace."""
         n = n_events or self.n_events
         key = ("base", app, label_kb, input_id, n)
         if key not in self._baseline:
@@ -199,6 +203,7 @@ class ExperimentContext:
         return self._baseline[key].with_warmup(self.warmup)
 
     def mtage(self, app: str, input_id: int = 0) -> PredictionResult:
+        """Unconstrained MTAGE-SC replay (the paper's limit baseline)."""
         key = ("mtage", app, input_id, self.n_events)
         if key not in self._baseline:
             skey = None
@@ -222,6 +227,7 @@ class ExperimentContext:
     def profile(
         self, app: str, input_ids: Tuple[int, ...] = (0,), label_kb: float = 64
     ) -> BranchProfile:
+        """Cached branch profile collected from the app's train traces."""
         key = ("profile", app, input_ids, label_kb, self.n_events)
         if key not in self._profiles:
             skey = None
@@ -249,6 +255,7 @@ class ExperimentContext:
         config: Optional[WhisperConfig] = None,
         tag: str = "",
     ) -> Tuple[WhisperResult, HintPlacement]:
+        """Cached Whisper optimization (hints + placement + runtime)."""
         effective = config or WhisperConfig()
         key = ("whisper", app, input_ids, label_kb, tag, self.n_events)
         if key not in self._whisper:
@@ -308,6 +315,7 @@ class ExperimentContext:
     def rombf(
         self, app: str, n_bits: int, input_ids: Tuple[int, ...] = (0,)
     ) -> RombfResult:
+        """Trained n-bit ROMBF tables for one app's profile."""
         key = ("rombf", app, n_bits, input_ids, self.n_events)
         if key not in self._rombf:
             skey = None
@@ -329,6 +337,7 @@ class ExperimentContext:
         self, app: str, n_bits: int, test_input: int = 1,
         train_inputs: Tuple[int, ...] = (0,),
     ) -> PredictionResult:
+        """Cross-input replay with the trained ROMBF runtime attached."""
         key = ("rrun", app, n_bits, test_input, train_inputs, self.n_events)
         if key not in self._rombf_runs:
             skey = None
@@ -371,6 +380,7 @@ class ExperimentContext:
         self, app: str, budget_bytes: Optional[int], test_input: int = 1,
         train_inputs: Tuple[int, ...] = (0,),
     ) -> PredictionResult:
+        """Cross-input replay with budget-limited BranchNet CNNs deployed."""
         key = ("bnrun", app, budget_bytes, test_input, train_inputs, self.n_events)
         if key not in self._branchnet_runs:
             skey = None
@@ -429,6 +439,7 @@ class ExperimentContext:
         input_id: int = 1,
         name: str = "",
     ) -> SimResult:
+        """Cached timing simulation for one predictor configuration."""
         pred_id = self._prediction_discriminator(prediction)
         place_id = self._placement_discriminator(placement)
         key = ("timing", app, name, pred_id, place_id, input_id, self.n_events)

@@ -14,6 +14,7 @@ from .runner import ExperimentContext, FigureResult, global_context
 
 
 def run_table1(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Table I: data center applications and workloads."""
     ctx = ctx or global_context()
     rows = []
     for app in ctx.datacenter_apps():
@@ -39,6 +40,7 @@ def run_table1(ctx: Optional[ExperimentContext] = None) -> FigureResult:
 
 
 def run_table2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Table II: timing-simulator parameters."""
     config = SimConfig()
     rows = [[f.name, getattr(config, f.name)] for f in fields(config)]
     return FigureResult(
@@ -51,6 +53,7 @@ def run_table2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
 
 
 def run_table3(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Reproduce Table III: Whisper design parameters."""
     config = WhisperConfig()
     rows = [
         ["Minimum history length (a)", config.min_history],

@@ -1,0 +1,84 @@
+"""Structured observability: span tracing, counters, and trace reports.
+
+``repro.obs`` is the zero-dependency measurement layer under the whole
+pipeline.  Every expensive operation — replay, training, trace
+generation, timing simulation, cache access, orchestrated tasks — wraps
+itself in a :func:`span` and bumps named counters; the process-local
+:class:`~repro.obs.recorder.Recorder` accumulates the resulting events,
+and ``repro run-all`` merges the events drained from its worker
+processes into one JSONL trace file per run (see
+:mod:`repro.obs.trace`).  The ``repro trace`` CLI renders the file as
+per-stage tables, an ASCII Gantt timeline, and a critical path
+(:mod:`repro.obs.report`).
+
+Design rules:
+
+* **Coarse granularity.**  Spans mark stages (one replay, one CNN
+  epoch, one figure) — never per-branch-event work.  The enforced
+  budget is <2 % overhead on the replay hot path
+  (``tools/check_obs_overhead.py``).
+* **Always safe to call.**  With ``REPRO_OBS=off`` every entry point
+  below hits a shared no-op recorder; instrumented code needs no
+  conditionals.
+* **Process-pool friendly.**  Workers :func:`drain` their recorder and
+  ship the plain-dict events back through task results; the parent
+  merges them (`repro.orchestrator.runall`).
+
+Quick use::
+
+    from repro import obs
+
+    with obs.span("replay", app="mysql", predictor="tage-sc-l"):
+        ...
+    obs.add("replay.events", n)
+    events = obs.drain()          # -> list of JSON-ready dicts
+"""
+
+from __future__ import annotations
+
+from .recorder import (
+    OBS_ENV,
+    NullRecorder,
+    Recorder,
+    add,
+    configure,
+    configure_from_env,
+    drain,
+    enabled,
+    event,
+    gauge,
+    recorder,
+    span,
+)
+from .trace import (
+    TRACE_NAME,
+    build_tree,
+    format_tree,
+    merge_events,
+    read_events,
+    write_events,
+)
+from .report import TraceSummary, summarize
+
+__all__ = [
+    "OBS_ENV",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_NAME",
+    "TraceSummary",
+    "add",
+    "build_tree",
+    "configure",
+    "configure_from_env",
+    "drain",
+    "enabled",
+    "event",
+    "format_tree",
+    "gauge",
+    "merge_events",
+    "read_events",
+    "recorder",
+    "span",
+    "summarize",
+    "write_events",
+]

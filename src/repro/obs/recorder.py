@@ -1,0 +1,286 @@
+"""The process-local event recorder behind :mod:`repro.obs`.
+
+One recorder instance lives per process.  Instrumented code talks to it
+only through the module-level helpers (:func:`span`, :func:`add`,
+:func:`gauge`, :func:`event`, :func:`drain`), so flipping the
+``REPRO_OBS`` environment variable to ``off`` swaps in a shared
+:class:`NullRecorder` and the instrumentation collapses to attribute
+lookups plus no-op calls — cheap enough to leave in the replay path.
+
+Span events capture wall-clock (``time.perf_counter`` delta anchored to
+a ``time.time`` epoch so spans from different processes align on one
+timeline), CPU time (``time.process_time`` delta), and the process's
+peak RSS at span exit (``resource.getrusage``; 0 where unavailable).
+Nesting is tracked with an explicit stack: every span carries a
+``span_id`` unique across processes (``"<pid>:<n>"``) and the
+``parent_id`` of the enclosing span, which is what lets
+:func:`repro.obs.trace.build_tree` reconstruct the call tree after a
+cross-process merge.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Union
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+#: Environment switch: ``off`` / ``0`` / ``false`` / ``no`` disable
+#: recording process-wide (the no-op path); anything else enables it.
+OBS_ENV = "REPRO_OBS"
+
+#: Safety valve: one recorder never holds more than this many events.
+#: Overflow increments ``dropped_events`` (reported at drain) instead of
+#: growing without bound inside long-lived processes.
+MAX_EVENTS = 200_000
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process in KB (0 if unknown)."""
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+def enabled_from_env() -> bool:
+    """Whether ``REPRO_OBS`` currently selects the recording path."""
+    return os.environ.get(OBS_ENV, "").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+class _Span:
+    """Context manager for one span; returned by :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id",
+                 "_epoch", "_wall0", "_cpu0")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        rec = self._recorder
+        self.span_id = rec._new_span_id()
+        self.parent_id = rec._stack[-1] if rec._stack else ""
+        rec._stack.append(self.span_id)
+        self._epoch = time.time()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        rec = self._recorder
+        if rec._stack and rec._stack[-1] == self.span_id:
+            rec._stack.pop()
+        payload: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "pid": rec.pid,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self._epoch, 6),
+            "wall": round(wall, 6),
+            "cpu": round(cpu, 6),
+            "max_rss_kb": _peak_rss_kb(),
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if exc_type is not None:
+            payload["status"] = "error"
+            payload["error"] = exc_type.__name__
+        rec._append(payload)
+
+
+class _NullSpan:
+    """Reusable, allocation-free stand-in when recording is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The ``REPRO_OBS=off`` recorder: every operation is a no-op."""
+
+    enabled = False
+    pid = 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        return None
+
+    def event(self, event_type: str, **fields: Any) -> None:
+        return None
+
+    def drain(self) -> List[dict]:
+        return []
+
+
+class Recorder:
+    """Accumulates span/counter/gauge events for one process.
+
+    Events are plain JSON-ready dicts so they can cross process
+    boundaries inside task results and be written straight to JSONL.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = MAX_EVENTS) -> None:
+        self.pid = os.getpid()
+        self.max_events = max_events
+        self._events: List[dict] = []
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._stack: List[str] = []
+        self._next_id = 0
+        self.dropped_events = 0
+
+    # -- identity ------------------------------------------------------
+    def _new_span_id(self) -> str:
+        self._next_id += 1
+        return f"{self.pid}:{self._next_id}"
+
+    def _append(self, payload: dict) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._events.append(payload)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """Start a span; use as ``with recorder.span("replay", app=...)``."""
+        return _Span(self, name, attrs)
+
+    def add(self, name: str, value: Union[int, float] = 1) -> None:
+        """Increment the named counter (created at zero on first use)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        """Set the named gauge to its latest observed value."""
+        self._gauges[name] = value
+
+    def event(self, event_type: str, **fields: Any) -> None:
+        """Record one free-form event (e.g. a cache miss with its key)."""
+        payload = {"type": event_type, "pid": self.pid, **fields}
+        self._append(payload)
+
+    # -- counters view -------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Current counter values (not cleared; mainly for tests/tours)."""
+        return dict(self._counters)
+
+    # -- drain ---------------------------------------------------------
+    def drain(self) -> List[dict]:
+        """Return all accumulated events and reset the recorder.
+
+        Counters and gauges are materialised as one event each at drain
+        time, so cross-process aggregation is a plain sum/last-wins over
+        event dicts.  The span stack is preserved: draining mid-span is
+        legal (worker tasks drain between tasks, never mid-span, but the
+        run-level span in the parent stays open across drains).
+        """
+        events = self._events
+        self._events = []
+        for name, value in sorted(self._counters.items()):
+            events.append(
+                {"type": "counter", "name": name, "value": value, "pid": self.pid}
+            )
+        self._counters = {}
+        for name, value in sorted(self._gauges.items()):
+            events.append(
+                {"type": "gauge", "name": name, "value": value, "pid": self.pid}
+            )
+        self._gauges = {}
+        if self.dropped_events:
+            events.append(
+                {"type": "dropped", "count": self.dropped_events, "pid": self.pid}
+            )
+            self.dropped_events = 0
+        return events
+
+
+_NULL = NullRecorder()
+_recorder: Union[Recorder, NullRecorder, None] = None
+
+
+def recorder() -> Union[Recorder, NullRecorder]:
+    """The process-wide recorder, created on first use from ``REPRO_OBS``."""
+    global _recorder
+    rec = _recorder
+    if rec is None or rec.enabled and rec.pid != os.getpid():
+        # First use, or this process was forked from an instrumented
+        # parent: a child must not inherit (and later double-report) the
+        # parent's buffered events.
+        rec = Recorder() if enabled_from_env() else _NULL
+        _recorder = rec
+    return rec
+
+
+def configure(enabled: Optional[bool] = None) -> Union[Recorder, NullRecorder]:
+    """Install a fresh recorder (``enabled=None`` re-reads ``REPRO_OBS``).
+
+    Discards any buffered events; tests and long-lived tools use this to
+    get a clean slate or to force the no-op path without touching the
+    environment.
+    """
+    global _recorder
+    if enabled is None:
+        enabled = enabled_from_env()
+    _recorder = Recorder() if enabled else _NULL
+    return _recorder
+
+
+def configure_from_env() -> Union[Recorder, NullRecorder]:
+    """:func:`configure` following the current ``REPRO_OBS`` value."""
+    return configure(None)
+
+
+# -- module-level convenience wrappers (the instrumented-code API) -----
+def span(name: str, **attrs: Any):
+    """Span context manager on the process recorder."""
+    return recorder().span(name, **attrs)
+
+
+def add(name: str, value: Union[int, float] = 1) -> None:
+    """Increment a counter on the process recorder."""
+    recorder().add(name, value)
+
+
+def gauge(name: str, value: Union[int, float]) -> None:
+    """Set a gauge on the process recorder."""
+    recorder().gauge(name, value)
+
+
+def event(event_type: str, **fields: Any) -> None:
+    """Record a free-form event on the process recorder."""
+    recorder().event(event_type, **fields)
+
+
+def drain() -> List[dict]:
+    """Drain the process recorder (empty list when recording is off)."""
+    return recorder().drain()
+
+
+def enabled() -> bool:
+    """Whether the process recorder is actually recording."""
+    return recorder().enabled

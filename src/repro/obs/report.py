@@ -1,0 +1,328 @@
+"""Trace reports: per-stage summaries, timelines, critical paths.
+
+Consumes the event stream of one run (`repro.obs.trace`) and renders
+the three views behind the ``repro trace`` CLI:
+
+* ``summarize`` — per-stage wall/CPU breakdown from the orchestrator's
+  task events, a per-figure runtime table, aggregated counters, and
+  cache hit rates; plain text or Markdown (the Markdown form is what
+  EXPERIMENTS.md embeds).
+* ``timeline`` — an ASCII Gantt chart of task execution across workers
+  (:func:`repro.analysis.ascii_chart.gantt`).
+* ``critical-path`` — the dependency chain of tasks that bounds the
+  run's wall clock; anything not on it can parallelise away.
+
+The same summary, as a dict, is embedded into the run manifest
+(:meth:`TraceSummary.as_dict`) so perf trajectories can be derived from
+any archived run without reparsing its trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .trace import aggregate_counters, build_tree, spans
+
+#: Task lifecycle events carry the scheduler's own timing fields.
+_TASK = "task"
+
+
+def _task_events(events: Iterable[dict]) -> List[dict]:
+    return [e for e in events if e.get("type") == _TASK]
+
+
+def _run_span(events: Iterable[dict]) -> Optional[dict]:
+    for event in events:
+        if event.get("type") == "span" and event.get("name") == "run":
+            return event
+    return None
+
+
+@dataclass
+class StageStats:
+    """Aggregated execution of one stage kind (or span name)."""
+
+    count: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    queue_wait: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "wall": round(self.wall, 4),
+            "cpu": round(self.cpu, 4),
+            "queue_wait": round(self.queue_wait, 4),
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summarize`` reports, as plain data."""
+
+    wall_seconds: float
+    jobs: int
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    figures: List[Tuple[str, float, str]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    max_rss_kb: int = 0
+    n_events: int = 0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Worker-occupied seconds across all stages."""
+        return sum(s.wall for s in self.stages.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the run's worker-time budget the stages account
+        for (``busy / (wall * jobs)``); the acceptance bar for the
+        instrumentation is that stage spans explain the run."""
+        budget = self.wall_seconds * max(1, self.jobs)
+        return min(1.0, self.busy_seconds / budget) if budget > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Run-wide artifact-cache hit rate from the merged counters."""
+        hits = self.counters.get("cache.hits", 0)
+        misses = self.counters.get("cache.misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Manifest-embeddable form (JSON-ready)."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 4),
+            "busy_seconds": round(self.busy_seconds, 4),
+            "jobs": self.jobs,
+            "coverage": round(self.coverage, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "max_rss_kb": self.max_rss_kb,
+            "n_events": self.n_events,
+            "stages": {name: s.as_dict() for name, s in sorted(self.stages.items())},
+            "figures": [
+                {"figure": name, "wall": round(wall, 4), "status": status}
+                for name, wall, status in self.figures
+            ],
+            "counters": {k: v for k, v in sorted(self.counters.items())},
+        }
+
+
+def summarize(events: List[dict]) -> TraceSummary:
+    """Reduce one run's event stream to a :class:`TraceSummary`.
+
+    Stage rows come from the orchestrator's task events when present
+    (every ``run-all``); otherwise the root spans of the trace stand in,
+    so ad-hoc traces (``repro figure``, the examples) summarize too.
+    """
+    tasks = _task_events(events)
+    run = _run_span(events)
+    jobs = 1
+    wall = 0.0
+    if run is not None:
+        wall = float(run.get("wall", 0.0))
+        jobs = int(run.get("attrs", {}).get("jobs", 1))
+    all_spans = spans(events)
+    if wall <= 0.0 and all_spans:
+        start = min(float(s.get("start", 0.0)) for s in all_spans)
+        end = max(float(s.get("start", 0.0)) + float(s.get("wall", 0.0)) for s in all_spans)
+        wall = end - start
+
+    summary = TraceSummary(wall_seconds=wall, jobs=jobs, n_events=len(events))
+    if tasks:
+        for task in tasks:
+            kind = task.get("kind") or task.get("name", "?")
+            stats = summary.stages.setdefault(kind, StageStats())
+            if task.get("status") == "done":
+                stats.count += 1
+                stats.wall += float(task.get("seconds", 0.0))
+                stats.cpu += float(task.get("cpu", 0.0))
+                stats.queue_wait += max(
+                    0.0, float(task.get("started", 0.0)) - float(task.get("ready", 0.0))
+                )
+            if kind == "figure":
+                summary.figures.append((
+                    task.get("app") or task.get("name", "?").split(":", 1)[-1],
+                    float(task.get("seconds", 0.0)),
+                    task.get("status", "?"),
+                ))
+    else:
+        for node in build_tree(events):
+            if node.name == "run":
+                children = node.children
+            else:
+                children = [node]
+            for child in children:
+                stats = summary.stages.setdefault(child.name, StageStats())
+                stats.count += 1
+                stats.wall += child.wall
+                stats.cpu += float(child.event.get("cpu", 0.0))
+                if child.name == "figure":
+                    attrs = child.event.get("attrs", {})
+                    summary.figures.append(
+                        (str(attrs.get("figure", "?")), child.wall, "done")
+                    )
+
+    summary.counters = aggregate_counters(events)
+    summary.max_rss_kb = max(
+        (int(s.get("max_rss_kb", 0)) for s in all_spans), default=0
+    )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Text / Markdown rendering
+# ----------------------------------------------------------------------
+def summary_lines(summary: TraceSummary, markdown: bool = False) -> List[str]:
+    """Render a :class:`TraceSummary` as text or Markdown tables."""
+    if markdown:
+        return _summary_markdown(summary)
+    lines = [
+        f"run: wall {summary.wall_seconds:.2f}s  jobs={summary.jobs}  "
+        f"busy {summary.busy_seconds:.2f}s  "
+        f"coverage {100 * summary.coverage:.0f}% of worker-time budget",
+        f"cache: {summary.counters.get('cache.hits', 0):.0f} hits / "
+        f"{summary.counters.get('cache.misses', 0):.0f} misses "
+        f"({100 * summary.cache_hit_rate:.0f}% hit rate), "
+        f"{summary.counters.get('cache.puts', 0):.0f} writes",
+    ]
+    if summary.max_rss_kb:
+        lines.append(f"peak RSS: {summary.max_rss_kb / 1024:.0f} MB")
+    lines.append("")
+    lines.append(f"{'stage':<14s} {'count':>5s} {'wall s':>9s} {'cpu s':>9s} "
+                 f"{'queue s':>9s} {'share':>6s}")
+    total = summary.busy_seconds or 1.0
+    for name, stats in sorted(
+        summary.stages.items(), key=lambda kv: kv[1].wall, reverse=True
+    ):
+        lines.append(
+            f"{name:<14s} {stats.count:5d} {stats.wall:9.2f} {stats.cpu:9.2f} "
+            f"{stats.queue_wait:9.2f} {100 * stats.wall / total:5.1f}%"
+        )
+    if summary.figures:
+        lines.append("")
+        lines.append(f"{'figure':<10s} {'wall s':>9s}  status")
+        for name, wall, status in sorted(summary.figures):
+            lines.append(f"{name:<10s} {wall:9.2f}  {status}")
+    interesting = {
+        k: v for k, v in summary.counters.items() if not k.startswith("cache.")
+    }
+    if interesting:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(interesting.items()):
+            lines.append(f"  {name:<28s} {value:>14,.0f}")
+    return lines
+
+
+def _summary_markdown(summary: TraceSummary) -> List[str]:
+    lines = [
+        "| stage | count | wall s | cpu s | queue s | share |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    total = summary.busy_seconds or 1.0
+    for name, stats in sorted(
+        summary.stages.items(), key=lambda kv: kv[1].wall, reverse=True
+    ):
+        lines.append(
+            f"| {name} | {stats.count} | {stats.wall:.2f} | {stats.cpu:.2f} "
+            f"| {stats.queue_wait:.2f} | {100 * stats.wall / total:.1f}% |"
+        )
+    lines.append("")
+    lines.append(
+        f"Run wall-clock {summary.wall_seconds:.2f} s at jobs={summary.jobs} "
+        f"({100 * summary.coverage:.0f}% of the worker-time budget accounted "
+        f"for); cache {100 * summary.cache_hit_rate:.0f}% hit rate "
+        f"({summary.counters.get('cache.hits', 0):.0f} hits / "
+        f"{summary.counters.get('cache.misses', 0):.0f} misses)."
+    )
+    if summary.figures:
+        lines.append("")
+        lines.append("| figure | wall s | status |")
+        lines.append("|---|---:|---|")
+        for name, wall, status in sorted(summary.figures):
+            lines.append(f"| {name} | {wall:.2f} | {status} |")
+    return lines
+
+
+def timeline_lines(events: List[dict], width: int = 64) -> List[str]:
+    """ASCII Gantt of task execution (falls back to top-level spans)."""
+    from ..analysis.ascii_chart import gantt
+
+    tasks = _task_events(events)
+    if tasks:
+        rows = [
+            (t.get("name", "?"),
+             float(t.get("started", 0.0)),
+             float(t.get("finished", 0.0)))
+            for t in sorted(tasks, key=lambda t: float(t.get("started", 0.0)))
+            if t.get("status") == "done"
+        ]
+    else:
+        roots = build_tree(events)
+        if not roots:
+            return ["(no spans)"]
+        t0 = min(float(r.event.get("start", 0.0)) for r in roots)
+        rows = [
+            (r.name, float(r.event.get("start", 0.0)) - t0,
+             float(r.event.get("start", 0.0)) - t0 + r.wall)
+            for r in roots
+        ]
+    return gantt(rows, width=width).splitlines()
+
+
+def critical_path(events: List[dict]) -> List[dict]:
+    """The dependency chain of done tasks that bounds the run's length.
+
+    Classic longest-path over the recorded task graph, weighting each
+    task by its execution seconds.  Returns the chain in execution
+    order; empty when the trace has no task events.
+    """
+    tasks = {t["name"]: t for t in _task_events(events) if t.get("status") == "done"}
+    best: Dict[str, float] = {}
+    prev: Dict[str, Optional[str]] = {}
+
+    def cost(name: str) -> float:
+        if name in best:
+            return best[name]
+        task = tasks[name]
+        best[name] = 0.0  # cycle guard; the scheduler validated the DAG
+        longest, chosen = 0.0, None
+        for dep in task.get("deps", ()):
+            if dep not in tasks:
+                continue
+            dep_cost = cost(dep)
+            if dep_cost > longest:
+                longest, chosen = dep_cost, dep
+        best[name] = longest + float(task.get("seconds", 0.0))
+        prev[name] = chosen
+        return best[name]
+
+    if not tasks:
+        return []
+    tail = max(tasks, key=cost)
+    chain: List[dict] = []
+    cursor: Optional[str] = tail
+    while cursor is not None:
+        chain.append(tasks[cursor])
+        cursor = prev.get(cursor)
+    return list(reversed(chain))
+
+
+def critical_path_lines(events: List[dict]) -> List[str]:
+    """Human-readable critical path with per-link timing."""
+    chain = critical_path(events)
+    if not chain:
+        return ["(no task events in trace — run `repro run-all` to record them)"]
+    total = sum(float(t.get("seconds", 0.0)) for t in chain)
+    run = _run_span(events)
+    lines = [
+        f"critical path: {len(chain)} tasks, {total:.2f}s"
+        + (f" of {float(run.get('wall', 0.0)):.2f}s wall" if run else "")
+    ]
+    for task in chain:
+        lines.append(
+            f"  {float(task.get('seconds', 0.0)):8.2f}s  {task.get('name', '?')}"
+        )
+    return lines

@@ -42,6 +42,9 @@ class RunManifest:
     tasks: List[dict]  # TaskRecord.as_dict() entries, completion order
     utilisation: float
     created: str = field(default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
+    #: TraceSummary.as_dict() of the run's obs trace; empty when the
+    #: observability layer was disabled (``REPRO_OBS=off``).
+    trace_summary: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -55,6 +58,7 @@ class RunManifest:
         figures: Sequence[str],
         cache_dir: str,
         wall_seconds: float,
+        trace_summary: Optional[dict] = None,
     ) -> "RunManifest":
         return cls(
             scale=scale,
@@ -66,10 +70,12 @@ class RunManifest:
             cache=cache,
             tasks=[record.as_dict() for record in records],
             utilisation=round(worker_utilisation(records, jobs, wall_seconds), 4),
+            trace_summary=dict(trace_summary or {}),
         )
 
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
+        """Task totals by status (done / failed / skipped)."""
         totals = {DONE: 0, FAILED: 0, SKIPPED: 0}
         for task in self.tasks:
             totals[task["status"]] = totals.get(task["status"], 0) + 1
@@ -88,16 +94,19 @@ class RunManifest:
             "wall_seconds": self.wall_seconds,
             "utilisation": self.utilisation,
             "cache": self.cache,
+            "trace_summary": self.trace_summary,
             "tasks": self.tasks,
         }
 
     def save(self, path: PathLike) -> None:
+        """Write the manifest as indented JSON, creating parent dirs."""
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_dict(), indent=1))
 
     @classmethod
     def load(cls, path: PathLike) -> "RunManifest":
+        """Parse a manifest file; rejects foreign formats and versions."""
         data = json.loads(pathlib.Path(path).read_text())
         if data.get("format") != MANIFEST_FORMAT:
             raise ValueError("not a repro run manifest")
@@ -117,6 +126,7 @@ class RunManifest:
             tasks=list(data["tasks"]),
             utilisation=float(data["utilisation"]),
             created=data.get("created", ""),
+            trace_summary=dict(data.get("trace_summary", {})),
         )
 
     # ------------------------------------------------------------------

@@ -64,6 +64,7 @@ def hit_rate(cache: dict) -> float:
 
 
 def format_bytes(n: int) -> str:
+    """Human-readable size (B / KB / MB / GB)."""
     value = float(n)
     for unit in ("B", "KB", "MB", "GB"):
         if value < 1024.0 or unit == "GB":

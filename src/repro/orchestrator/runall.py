@@ -27,9 +27,12 @@ import importlib
 import pathlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..branchnet import BUDGET_32KB, BUDGET_8KB
 from ..experiments import FIGURES, figure_slug
 from ..experiments.runner import SCALE_EVENTS, ExperimentContext, events_per_app
+from ..obs.report import summarize
+from ..obs.trace import TRACE_NAME, merge_events, write_events
 from .manifest import MANIFEST_NAME, RunManifest
 from .metrics import Timer, aggregate_cache_stats
 from .scheduler import DONE, TaskGraph
@@ -97,13 +100,19 @@ def _context(n_events: int, cache_dir: Optional[str]) -> ExperimentContext:
 
 
 def _stats(ctx: ExperimentContext) -> dict:
-    return {"cache": ctx.store.stats.as_dict()} if ctx.store is not None else {}
+    """What a task ships back across the process boundary: its cache
+    counter deltas plus the obs events recorded while it ran."""
+    stats: dict = {"obs": obs.drain()}
+    if ctx.store is not None:
+        stats["cache"] = ctx.store.stats.as_dict()
+    return stats
 
 
 # ----------------------------------------------------------------------
 # Warm-stage tasks (one process each; results live in the store)
 # ----------------------------------------------------------------------
 def warm_trace(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: generate + cache the app's train/test traces."""
     ctx = _context(n_events, cache_dir)
     ctx.trace(app, 0)
     ctx.trace(app, 1)
@@ -111,6 +120,7 @@ def warm_trace(app: str, n_events: int, cache_dir: str) -> dict:
 
 
 def warm_baseline(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: replay the unassisted TAGE-SC-L baseline."""
     ctx = _context(n_events, cache_dir)
     ctx.baseline(app, 64, input_id=0)
     ctx.baseline(app, 64, input_id=1)
@@ -118,24 +128,28 @@ def warm_baseline(app: str, n_events: int, cache_dir: str) -> dict:
 
 
 def warm_profile(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: collect the branch profile from the train trace."""
     ctx = _context(n_events, cache_dir)
     ctx.profile(app)
     return _stats(ctx)
 
 
 def warm_whisper(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: run Whisper's formula search over the profile."""
     ctx = _context(n_events, cache_dir)
     ctx.whisper(app)
     return _stats(ctx)
 
 
 def warm_whisper_run(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: replay the test trace with Whisper hints active."""
     ctx = _context(n_events, cache_dir)
     ctx.whisper_run(app)
     return _stats(ctx)
 
 
 def warm_rombf(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: train ROMBF tables and replay the test trace."""
     ctx = _context(n_events, cache_dir)
     for n_bits in (4, 8):
         ctx.rombf_run(app, n_bits)
@@ -143,6 +157,7 @@ def warm_rombf(app: str, n_events: int, cache_dir: str) -> dict:
 
 
 def warm_branchnet(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: train BranchNet CNNs and replay the test trace."""
     ctx = _context(n_events, cache_dir)
     for budget in (BUDGET_8KB, BUDGET_32KB, None):
         ctx.branchnet_run(app, budget)
@@ -150,6 +165,7 @@ def warm_branchnet(app: str, n_events: int, cache_dir: str) -> dict:
 
 
 def warm_mtage(app: str, n_events: int, cache_dir: str) -> dict:
+    """Worker task: replay the unconstrained MTAGE-SC limit baseline."""
     ctx = _context(n_events, cache_dir)
     ctx.mtage(app, input_id=1)
     return _stats(ctx)
@@ -209,7 +225,8 @@ def run_figure(
     module_name, fn_name = FIGURES[name]
     module = importlib.import_module(f".experiments.{module_name}", package="repro")
     ctx = _context(n_events, cache_dir)
-    result = getattr(module, fn_name)(ctx)
+    with obs.span("figure", figure=name):
+        result = getattr(module, fn_name)(ctx)
     text = result.to_text() + f"\n(scale: {scale_label(n_events)})\n"
     slug = figure_slug(name)
     if results_dir:
@@ -234,6 +251,8 @@ def build_graph(
     cache_dir: Optional[str],
     results_dir: Optional[str],
 ) -> TaskGraph:
+    """Assemble the task DAG that warms every artifact the selected
+    figures will need, then runs the figures themselves."""
     graph = TaskGraph()
     stages: List[str] = []
     if cache_dir:  # without a store, warmed artifacts would be lost
@@ -298,12 +317,32 @@ def run_all(
     n_events = n_events if n_events is not None else events_per_app()
 
     graph = build_graph(selected, n_events, cache_dir, results_dir)
-    with Timer() as timer:
-        records = graph.run(jobs=jobs, log=log)
+    with obs.span(
+        "run", jobs=jobs, scale=scale_label(n_events), figures=len(selected)
+    ):
+        with Timer() as timer:
+            records = graph.run(jobs=jobs, log=log)
 
     cache = aggregate_cache_stats(record.result for record in records)
     if cache_dir:
         ArtifactStore(cache_dir).persist_stats(extra=cache)
+
+    # One trace per run: the parent's own events (run span, task
+    # lifecycle, inline-mode work) plus whatever each worker drained
+    # into its task result.
+    events = merge_events(
+        obs.drain(),
+        *(
+            record.result.get("obs", ())
+            for record in records
+            if isinstance(record.result, dict)
+        ),
+    )
+    trace_summary: dict = {}
+    if events and obs.enabled():
+        if results_dir:
+            write_events(pathlib.Path(results_dir) / TRACE_NAME, events)
+        trace_summary = summarize(events).as_dict()
 
     texts = {
         record.result["figure"]: record.result["text"]
@@ -319,6 +358,7 @@ def run_all(
         figures=selected,
         cache_dir=cache_dir or "",
         wall_seconds=timer.seconds,
+        trace_summary=trace_summary,
     )
     if manifest_path is None and results_dir:
         manifest_path = str(pathlib.Path(results_dir) / MANIFEST_NAME)

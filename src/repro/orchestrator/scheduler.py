@@ -28,6 +28,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
+
 #: Task lifecycle states recorded in the manifest.
 DONE = "done"
 FAILED = "failed"
@@ -55,6 +57,8 @@ class TaskRecord:
     app: str = ""
     status: str = SKIPPED
     seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    ready: float = 0.0  # offset when all dependencies were decided
     started: float = 0.0  # offset from graph start
     finished: float = 0.0
     worker: int = 0  # pid that executed the task
@@ -69,6 +73,8 @@ class TaskRecord:
             "app": self.app,
             "status": self.status,
             "seconds": round(self.seconds, 4),
+            "cpu_seconds": round(self.cpu_seconds, 4),
+            "ready": round(self.ready, 4),
             "started": round(self.started, 4),
             "finished": round(self.finished, 4),
             "worker": self.worker,
@@ -76,11 +82,14 @@ class TaskRecord:
         }
 
 
-def _run_task(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Tuple[Any, float, int]:
-    """Worker-side wrapper: measure wall time and report the pid."""
+def _run_task(
+    fn: Callable[..., Any], args: Tuple[Any, ...]
+) -> Tuple[Any, float, float, int]:
+    """Worker-side wrapper: measure wall + CPU time and report the pid."""
+    cpu0 = time.process_time()
     start = time.perf_counter()
     result = fn(*args)
-    return result, time.perf_counter() - start, os.getpid()
+    return result, time.perf_counter() - start, time.process_time() - cpu0, os.getpid()
 
 
 class TaskGraph:
@@ -151,6 +160,25 @@ class TaskGraph:
     def _record_for(self, spec: TaskSpec) -> TaskRecord:
         return TaskRecord(name=spec.name, kind=spec.kind, app=spec.app)
 
+    def _emit_task_event(self, spec: TaskSpec, record: TaskRecord) -> None:
+        """Task lifecycle event for the run trace (queue wait = started
+        - ready; dependency edges ride along for critical-path
+        analysis)."""
+        obs.event(
+            "task",
+            name=record.name,
+            kind=record.kind,
+            app=record.app,
+            status=record.status,
+            seconds=round(record.seconds, 6),
+            cpu=round(record.cpu_seconds, 6),
+            ready=round(record.ready, 6),
+            started=round(record.started, 6),
+            finished=round(record.finished, 6),
+            worker=record.worker,
+            deps=list(spec.deps),
+        )
+
     def _log(self, log, done: int, total: int, record: TaskRecord) -> None:
         if log is None:
             return
@@ -164,6 +192,7 @@ class TaskGraph:
         """Single-process execution in deterministic topological order."""
         t0 = time.perf_counter()
         status: Dict[str, str] = {}
+        finished_at: Dict[str, float] = {}
         records: List[TaskRecord] = []
         remaining = dict(self._tasks)
         while remaining:
@@ -175,22 +204,30 @@ class TaskGraph:
                 progressed = True
                 del remaining[name]
                 record = self._record_for(spec)
+                record.ready = max(
+                    (finished_at[dep] for dep in spec.deps), default=0.0
+                )
                 record.started = time.perf_counter() - t0
                 if any(status[dep] != DONE for dep in spec.deps):
                     record.status = SKIPPED
                     record.error = "dependency failed"
                 else:
                     try:
-                        record.result, record.seconds, record.worker = _run_task(
-                            spec.fn, spec.args
-                        )
+                        (
+                            record.result,
+                            record.seconds,
+                            record.cpu_seconds,
+                            record.worker,
+                        ) = _run_task(spec.fn, spec.args)
                         record.status = DONE
                     except Exception:
                         record.status = FAILED
                         record.error = traceback.format_exc()
                 record.finished = time.perf_counter() - t0
+                finished_at[name] = record.finished
                 status[name] = record.status
                 records.append(record)
+                self._emit_task_event(spec, record)
                 self._log(log, len(records), len(self._tasks), record)
             if not progressed:  # unreachable after _validate; belt-and-braces
                 raise RuntimeError(f"no runnable task among {sorted(remaining)}")
@@ -216,13 +253,17 @@ class TaskGraph:
                 if pending[child] != 0:
                     continue
                 spec = self._tasks[child]
+                now = time.perf_counter() - t0
+                ready_at[child] = now
                 if any(status[dep] != DONE for dep in spec.deps):
                     record = self._record_for(spec)
                     record.status = SKIPPED
                     record.error = "dependency failed"
-                    record.started = record.finished = time.perf_counter() - t0
+                    record.ready = now
+                    record.started = record.finished = now
                     status[child] = SKIPPED
                     records.append(record)
+                    self._emit_task_event(spec, record)
                     skipped.append(record)
                     skipped.extend(settle(child))
                 else:
@@ -230,6 +271,7 @@ class TaskGraph:
             return skipped
 
         ready: List[str] = [name for name, count in pending.items() if count == 0]
+        ready_at: Dict[str, float] = {name: 0.0 for name in ready}
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures: Dict[Any, Tuple[str, float]] = {}
             while ready or futures:
@@ -244,9 +286,15 @@ class TaskGraph:
                     name, started = futures.pop(future)
                     spec = self._tasks[name]
                     record = self._record_for(spec)
+                    record.ready = ready_at.get(name, 0.0)
                     record.started = started
                     try:
-                        record.result, record.seconds, record.worker = future.result()
+                        (
+                            record.result,
+                            record.seconds,
+                            record.cpu_seconds,
+                            record.worker,
+                        ) = future.result()
                         record.status = DONE
                     except Exception:
                         record.status = FAILED
@@ -254,6 +302,7 @@ class TaskGraph:
                     record.finished = time.perf_counter() - t0
                     status[name] = record.status
                     records.append(record)
+                    self._emit_task_event(spec, record)
                     self._log(log, len(records), len(self._tasks), record)
                     for skipped in settle(name):
                         self._log(log, len(records), len(self._tasks), skipped)

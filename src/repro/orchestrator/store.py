@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..branchnet.cnn import BranchNetModel, CnnConfig
 from ..branchnet.trainer import BranchNetResult
 from ..bpu.runner import PredictionResult
@@ -270,6 +271,7 @@ _CODECS: Dict[str, Any] = {
 # ----------------------------------------------------------------------
 @dataclass
 class KindStats:
+    """Hit/miss/put counters for one artifact kind."""
     hits: int = 0
     misses: int = 0
     puts: int = 0
@@ -360,6 +362,7 @@ class ArtifactStore:
         stats = self.stats._kind(kind)
         if not path.exists():
             stats.misses += 1
+            self._observe(kind, key, "miss")
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -368,13 +371,25 @@ class ArtifactStore:
             decoded = _CODECS[kind].decode(meta, arrays, decode_ctx)
         except Exception:
             stats.misses += 1
+            self._observe(kind, key, "corrupt")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         stats.hits += 1
+        self._observe(kind, key, "hit")
         return decoded
+
+    @staticmethod
+    def _observe(kind: str, key: str, outcome: str) -> None:
+        """Trace-level cache accounting: run-wide counters plus one
+        event per access carrying the fingerprint key, so a trace shows
+        *which* artifact missed, not just how many."""
+        family = {"hit": "hits", "put": "puts"}.get(outcome, "misses")
+        obs.add(f"cache.{family}")
+        obs.add(f"cache.{kind}.{family}")
+        obs.event("cache", kind=kind, key=key, outcome=outcome)
 
     def put(self, kind: str, key: str, obj: Any) -> pathlib.Path:
         """Encode and atomically persist one artifact."""
@@ -395,6 +410,7 @@ class ArtifactStore:
                 pass
             raise
         self.stats._kind(kind).puts += 1
+        self._observe(kind, key, "put")
         return path
 
     # ------------------------------------------------------------------

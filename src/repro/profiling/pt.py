@@ -62,6 +62,7 @@ class TntPacket:
             raise ValueError("TNT packet holds 1..6 outcomes")
 
     def encode(self) -> bytes:
+        """Pack the outcomes into a short TNT packet (LSB-first, stop bit)."""
         payload = 0
         for i, outcome in enumerate(self.outcomes):
             payload |= int(outcome) << i
@@ -156,6 +157,7 @@ class PacketDecoder:
     """Decode a PT-like byte stream back into branch outcomes."""
 
     def decode(self, data: bytes) -> DecodedStream:
+        """Walk the packet stream back into outcomes, TIPs, and sync points."""
         outcomes: List[bool] = []
         tips: List[int] = []
         psb_count = 0

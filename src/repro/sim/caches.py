@@ -18,6 +18,7 @@ class SetAssociativeCache:
         self.misses = 0
 
     def reset(self) -> None:
+        """Drop all cached lines and zero the hit/miss counters."""
         self._sets = [[] for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
@@ -52,11 +53,13 @@ class BranchTargetBuffer:
         self.misses = 0
 
     def reset(self) -> None:
+        """Drop all BTB entries and zero the hit/miss counters."""
         self._sets = [[] for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
 
     def access(self, pc: int) -> bool:
+        """Look up a branch PC; misses allocate (LRU) and cost a bubble."""
         key = pc >> 2
         ways = self._sets[key % self.n_sets]
         if key in ways:

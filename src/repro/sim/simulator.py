@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..bpu.runner import PredictionResult, resolve_kernel
 from ..core.injection import HintPlacement
 from ..profiling.trace import Trace
@@ -408,18 +409,27 @@ def simulate_timing(
     """
     mode = resolve_kernel(kernel)
 
-    mispredicted = np.zeros(trace.n_events, dtype=bool)
-    if prediction is not None:
-        wrong = prediction.cond_event_indices[~prediction.correct]
-        mispredicted[wrong] = True
-    # Squashes only happen at conditional branches.
-    mispredicted &= trace.is_conditional
+    with obs.span(
+        "timing",
+        app=trace.app,
+        label=name or (prediction.predictor_name if prediction else "ideal"),
+        kernel=mode,
+        n_events=trace.n_events,
+    ):
+        mispredicted = np.zeros(trace.n_events, dtype=bool)
+        if prediction is not None:
+            wrong = prediction.cond_event_indices[~prediction.correct]
+            mispredicted[wrong] = True
+        # Squashes only happen at conditional branches.
+        mispredicted &= trace.is_conditional
 
-    inputs = _get_inputs(trace, placement, config)
-    run = _timing_vector if mode == "vector" else _timing_scalar
-    icache_stalls, icache_misses, covered, btb_misses, mispredict_count = run(
-        trace, mispredicted, inputs, config, fdip, perfect_icache
-    )
+        inputs = _get_inputs(trace, placement, config)
+        run = _timing_vector if mode == "vector" else _timing_scalar
+        icache_stalls, icache_misses, covered, btb_misses, mispredict_count = run(
+            trace, mispredicted, inputs, config, fdip, perfect_icache
+        )
+    obs.add("timing.runs")
+    obs.add("timing.events", int(trace.n_events))
 
     base_cycles = float(inputs.cycle_prefix[trace.n_events])
     squash_cycles = float(mispredict_count * config.mispredict_penalty)

@@ -66,6 +66,7 @@ class BiasedBehavior(Behavior):
             raise ValueError("p must be in [0, 1]")
 
     def outcome(self, history: int, u: float) -> bool:
+        """Bernoulli draw: taken when ``u`` falls below ``p``."""
         return u < self.p
 
     @property
@@ -94,6 +95,7 @@ class FormulaBehavior(Behavior):
             raise ValueError("length must be positive")
 
     def outcome(self, history: int, u: float) -> bool:
+        """Direction from the planted formula over hashed history."""
         hashed = fold_history(history, self.length, self.hash_bits)
         value = bool(self.formula.evaluate(hashed))
         if self.noise and u < self.noise:
@@ -137,6 +139,7 @@ class BurstyBehavior(Behavior):
         return 1.0 / (1.0 + burst)
 
     def outcome(self, history: int, u: float) -> bool:
+        """Direction from the burst phase (mostly-taken vs mostly-not)."""
         if self._remaining > 0:
             self._remaining -= 1
             return not self.common
@@ -192,6 +195,7 @@ class SparseHistoryBehavior(Behavior):
         return max(self.positions) + 1
 
     def outcome(self, history: int, u: float) -> bool:
+        """Truth-table lookup over a few specific distant history bits."""
         key = 0
         for i, pos in enumerate(self.positions):
             key |= ((history >> pos) & 1) << i
@@ -215,6 +219,7 @@ class PatternBehavior(Behavior):
             raise ValueError("period must be positive")
 
     def outcome(self, history: int, u: float) -> bool:
+        """Next bit of the fixed repeating direction pattern."""
         bit = (self.pattern >> self._pos) & 1
         self._pos = (self._pos + 1) % self.period
         return bool(bit)
@@ -236,6 +241,7 @@ class LoopBehavior(Behavior):
             raise ValueError("trip count must be at least 2")
 
     def outcome(self, history: int, u: float) -> bool:
+        """Taken until the loop trip count expires, then falls through."""
         self._count += 1
         if self._count >= self.trip:
             self._count = 0
@@ -265,6 +271,7 @@ class LocalBehavior(Behavior):
             raise ValueError("k must be in [1, 16]")
 
     def outcome(self, history: int, u: float) -> bool:
+        """Truth-table lookup over the branch's own last ``k`` outcomes."""
         value = bool((self.table >> self._local) & 1)
         if self.noise and u < self.noise:
             value = not value

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.hashing import fold_history
 from ..profiling.trace import Trace
 from .behaviors import (
@@ -470,17 +471,26 @@ def generate_trace(
         for block in np.flatnonzero(program.is_conditional)
     )
     walk = _walk_vector if (mode == "vector" and vectorizable) else _walk_scalar
-    block_ids, taken = walk(
-        program,
-        spec,
-        behaviors,
-        rng,
-        n_events,
-        request_rank,
-        request_zipf,
-        func_zipf,
-        avg_request_blocks,
-    )
+    with obs.span(
+        "trace.generate",
+        app=spec.name,
+        input_id=input_id,
+        n_events=n_events,
+        kernel=walk.__name__.lstrip("_"),
+    ):
+        block_ids, taken = walk(
+            program,
+            spec,
+            behaviors,
+            rng,
+            n_events,
+            request_rank,
+            request_zipf,
+            func_zipf,
+            avg_request_blocks,
+        )
+    obs.add("trace.generated")
+    obs.add("trace.events", int(n_events))
 
     trace = Trace(
         program=program,

@@ -110,6 +110,7 @@ class Program:
         return self.behaviors[block] if block is not None else None
 
     def block_of_pc(self, pc: int) -> Optional[int]:
+        """Basic-block id owning a branch PC; None if unmapped."""
         idx = np.searchsorted(self.branch_pcs, pc)
         if idx < self.n_blocks and int(self.branch_pcs[idx]) == pc:
             return int(idx)

@@ -1,0 +1,383 @@
+"""The observability layer: recording, merging, reporting, and the
+run-all integration.
+
+The integration tests are the acceptance criteria of the subsystem: a
+small orchestrated run must leave one well-formed JSONL trace whose
+stage rows account for the run's wall clock, and the embedded manifest
+summary must agree with the trace file.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.analysis.ascii_chart import gantt
+from repro.obs.recorder import MAX_EVENTS, Recorder
+from repro.obs.report import (
+    critical_path,
+    critical_path_lines,
+    summarize,
+    summary_lines,
+    timeline_lines,
+)
+from repro.obs.trace import (
+    aggregate_counters,
+    build_tree,
+    format_tree,
+    merge_events,
+    read_events,
+    write_events,
+)
+
+EVENTS = 2_500
+
+
+@pytest.fixture()
+def fresh_recorder():
+    """An enabled, empty recorder for the test; restores env behaviour."""
+    rec = obs.configure(enabled=True)
+    yield rec
+    obs.configure_from_env()
+
+
+class TestRecorder:
+    def test_span_records_timing_fields(self, fresh_recorder):
+        with obs.span("work", app="mysql"):
+            pass
+        (event,) = obs.drain()
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["attrs"] == {"app": "mysql"}
+        assert event["wall"] >= 0.0
+        assert event["cpu"] >= 0.0
+        assert event["start"] > 0  # epoch-anchored
+        assert event["span_id"].startswith(f"{event['pid']}:")
+
+    def test_span_nesting_via_parent_ids(self, fresh_recorder):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner2"):
+                pass
+        events = obs.drain()
+        roots = build_tree(events)
+        assert [r.name for r in roots] == ["outer"]
+        assert sorted(c.name for c in roots[0].children) == ["inner", "inner2"]
+        # Children closed before the parent, so they appear first in the
+        # stream but still link to it.
+        outer = next(e for e in events if e["name"] == "outer")
+        assert all(
+            e["parent_id"] == outer["span_id"]
+            for e in events
+            if e["name"].startswith("inner")
+        )
+
+    def test_span_records_exceptions(self, fresh_recorder):
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = obs.drain()
+        assert event["status"] == "error"
+        assert event["error"] == "RuntimeError"
+
+    def test_counters_materialise_at_drain(self, fresh_recorder):
+        obs.add("replay.events", 100)
+        obs.add("replay.events", 50)
+        obs.add("replay.runs")
+        obs.gauge("queue.depth", 7)
+        events = obs.drain()
+        counters = {e["name"]: e["value"] for e in events if e["type"] == "counter"}
+        assert counters == {"replay.events": 150, "replay.runs": 1}
+        gauges = {e["name"]: e["value"] for e in events if e["type"] == "gauge"}
+        assert gauges == {"queue.depth": 7}
+        assert obs.drain() == []  # drain resets
+
+    def test_disabled_recorder_is_noop(self):
+        obs.configure(enabled=False)
+        try:
+            assert not obs.enabled()
+            with obs.span("invisible", app="x"):
+                obs.add("invisible.counter")
+                obs.event("cache", outcome="hit")
+            assert obs.drain() == []
+        finally:
+            obs.configure_from_env()
+
+    def test_off_env_values(self, monkeypatch):
+        from repro.obs.recorder import enabled_from_env
+
+        for value in ("off", "0", "false", "no", "OFF"):
+            monkeypatch.setenv(obs.OBS_ENV, value)
+            assert not enabled_from_env()
+        for value in ("", "on", "1"):
+            monkeypatch.setenv(obs.OBS_ENV, value)
+            assert enabled_from_env()
+
+    def test_overflow_drops_and_reports(self):
+        rec = Recorder(max_events=3)
+        for i in range(5):
+            rec.event("task", n=i)
+        events = rec.drain()
+        assert len([e for e in events if e["type"] == "task"]) == 3
+        (dropped,) = [e for e in events if e["type"] == "dropped"]
+        assert dropped["count"] == 2
+        assert MAX_EVENTS >= 100_000  # the real cap stays generous
+
+    def test_fork_detection_resets_recorder(self, fresh_recorder, monkeypatch):
+        import sys
+
+        # ``repro.obs.recorder`` the module is shadowed by the function
+        # of the same name on the package, so go through sys.modules.
+        recorder_module = sys.modules["repro.obs.recorder"]
+        obs.add("parent.counter")
+        monkeypatch.setattr(recorder_module.os, "getpid", lambda: -1)
+        child = obs.recorder()
+        assert child is not fresh_recorder
+        assert child.drain() == []  # no inherited events
+
+
+class TestTraceFiles:
+    def test_write_read_roundtrip(self, tmp_path, fresh_recorder):
+        with obs.span("a"):
+            pass
+        obs.add("c", 2)
+        events = obs.drain()
+        path = write_events(tmp_path / "sub" / "trace.jsonl", events)
+        assert read_events(path) == events
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"span"}\nnot json\n')
+        with pytest.raises(ValueError, match="trace.jsonl:2"):
+            read_events(path)
+
+    def test_merge_orders_spans_by_epoch_start(self):
+        a = [{"type": "span", "name": "late", "start": 2.0}]
+        b = [
+            {"type": "span", "name": "early", "start": 1.0},
+            {"type": "counter", "name": "c", "value": 1},
+        ]
+        merged = merge_events(a, b)
+        assert [e["name"] for e in merged] == ["early", "late", "c"]
+
+    def test_counter_aggregation_across_processes(self):
+        a = [{"type": "counter", "name": "cache.hits", "value": 3, "pid": 1}]
+        b = [
+            {"type": "counter", "name": "cache.hits", "value": 4, "pid": 2},
+            {"type": "counter", "name": "cache.misses", "value": 1, "pid": 2},
+        ]
+        totals = aggregate_counters(merge_events(a, b))
+        assert totals == {"cache.hits": 7, "cache.misses": 1}
+
+    def test_orphaned_span_degrades_to_root(self):
+        events = [
+            {"type": "span", "name": "child", "span_id": "1:2",
+             "parent_id": "1:1", "start": 1.0, "wall": 0.1},
+        ]
+        roots = build_tree(events)
+        assert [r.name for r in roots] == ["child"]
+
+    def test_format_tree_hides_fast_spans(self, fresh_recorder):
+        with obs.span("slow"):
+            with obs.span("fast"):
+                pass
+        text = format_tree(obs.drain(), min_wall=10.0)
+        assert "slow" not in text  # the root itself is under 10 s
+        assert "1 spans <" in text
+
+
+class TestReports:
+    @staticmethod
+    def _task(name, kind, seconds, started, deps=(), status="done", cpu=0.0):
+        return {
+            "type": "task", "name": name, "kind": kind, "app": "",
+            "status": status, "seconds": seconds, "cpu": cpu,
+            "ready": started, "started": started,
+            "finished": started + seconds, "worker": 1, "deps": list(deps),
+        }
+
+    def test_summarize_from_task_events(self):
+        events = [
+            {"type": "span", "name": "run", "span_id": "1:1", "parent_id": "",
+             "start": 100.0, "wall": 3.0, "cpu": 2.0, "pid": 1,
+             "attrs": {"jobs": 2}},
+            self._task("trace:a", "trace", 1.0, 0.0, cpu=0.9),
+            self._task("trace:b", "trace", 0.5, 0.0, cpu=0.4),
+            self._task("figure:fig02", "figure", 0.25, 1.0, deps=["trace:a"]),
+            self._task("figure:fig13", "figure", 0.25, 1.0, status="failed"),
+            {"type": "counter", "name": "cache.hits", "value": 9, "pid": 1},
+            {"type": "counter", "name": "cache.misses", "value": 1, "pid": 1},
+        ]
+        summary = summarize(events)
+        assert summary.wall_seconds == 3.0
+        assert summary.jobs == 2
+        assert summary.stages["trace"].count == 2
+        assert summary.stages["trace"].wall == pytest.approx(1.5)
+        assert summary.stages["trace"].cpu == pytest.approx(1.3)
+        # The failed figure contributes a row but no stage time.
+        assert summary.stages["figure"].count == 1
+        assert dict((f, s) for f, _, s in summary.figures) == {
+            "fig02": "done", "fig13": "failed",
+        }
+        assert summary.cache_hit_rate == pytest.approx(0.9)
+        assert 0.0 < summary.coverage <= 1.0
+        d = summary.as_dict()
+        assert json.dumps(d)  # JSON-ready for the manifest
+        assert d["coverage"] == pytest.approx(summary.coverage, abs=1e-4)
+
+    def test_summarize_falls_back_to_spans(self, fresh_recorder):
+        with obs.span("replay", app="mysql"):
+            pass
+        summary = summarize(obs.drain())
+        assert "replay" in summary.stages
+        assert summary.stages["replay"].count == 1
+
+    def test_summary_lines_text_and_markdown(self):
+        events = [self._task("trace:a", "trace", 1.0, 0.0)]
+        text = "\n".join(summary_lines(summarize(events)))
+        assert "trace" in text and "stage" in text
+        md = "\n".join(summary_lines(summarize(events), markdown=True))
+        assert md.startswith("| stage |")
+        assert "| trace | 1 |" in md
+
+    def test_timeline_renders_tasks(self):
+        events = [
+            self._task("trace:a", "trace", 1.0, 0.0),
+            self._task("baseline:a", "baseline", 1.0, 1.0),
+        ]
+        lines = timeline_lines(events, width=20)
+        assert len(lines) >= 3  # two bars + axis
+        assert "trace:a" in lines[0]
+
+    def test_critical_path_follows_longest_chain(self):
+        events = [
+            self._task("trace:a", "trace", 1.0, 0.0),
+            self._task("trace:b", "trace", 3.0, 0.0),
+            self._task("baseline:a", "baseline", 1.0, 1.0, deps=["trace:a"]),
+            self._task("figure:f", "figure", 0.5, 4.0,
+                       deps=["baseline:a", "trace:b"]),
+        ]
+        chain = [t["name"] for t in critical_path(events)]
+        assert chain == ["trace:b", "figure:f"]
+        lines = critical_path_lines(events)
+        assert "2 tasks" in lines[0]
+
+    def test_critical_path_empty_without_tasks(self):
+        assert critical_path([]) == []
+
+
+class TestGantt:
+    def test_bars_scale_and_label(self):
+        chart = gantt([("a", 0.0, 1.0), ("b", 1.0, 2.0)], width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        bar_a = lines[0].split("|")[1]
+        bar_b = lines[1].split("|")[1]
+        # Non-overlapping intervals paint disjoint halves.
+        assert bar_a.rstrip() and bar_b.lstrip()
+        assert bar_a.index("#") < bar_b.index("#")
+        assert "2.0" in lines[-1]  # axis shows the total span
+
+    def test_empty_and_narrow(self):
+        assert gantt([]) == "(no intervals)"
+        with pytest.raises(ValueError):
+            gantt([("a", 0.0, 1.0)], width=4)
+
+
+class TestRunAllIntegration:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        from repro.orchestrator.runall import run_all
+
+        obs.configure(enabled=True)
+        results = tmp_path_factory.mktemp("results")
+        manifest, texts = run_all(
+            figures=["fig02"],
+            jobs=2,
+            n_events=EVENTS,
+            cache_dir=str(tmp_path_factory.mktemp("cache")),
+            results_dir=str(results),
+        )
+        yield manifest, texts, results
+        obs.configure_from_env()
+
+    def test_trace_file_well_formed(self, run):
+        _, _, results = run
+        events = read_events(results / "trace.jsonl")
+        assert events, "run-all must leave a trace"
+        spans = [e for e in events if e.get("type") == "span"]
+        tasks = [e for e in events if e.get("type") == "task"]
+        assert any(s["name"] == "run" for s in spans)
+        assert any(s["name"] == "replay" for s in spans)
+        assert {t["kind"] for t in tasks} == {"trace", "baseline", "figure"}
+        # Worker events really crossed the process boundary.
+        assert len({e.get("pid") for e in spans}) > 1
+
+    def test_stage_walls_account_for_run(self, run):
+        manifest, _, results = run
+        summary = summarize(read_events(results / "trace.jsonl"))
+        assert summary.coverage >= 0.80, (
+            f"stage spans explain only {100 * summary.coverage:.0f}% "
+            f"of the worker-time budget"
+        )
+        # Busy time can never exceed wall * workers.
+        assert summary.busy_seconds <= summary.wall_seconds * summary.jobs * 1.05
+        for stats in summary.stages.values():
+            assert stats.cpu <= stats.wall * 1.5 + 0.1
+
+    def test_manifest_embeds_trace_summary(self, run):
+        manifest, _, results = run
+        embedded = manifest.trace_summary
+        assert embedded["jobs"] == 2
+        assert set(embedded["stages"]) == {"trace", "baseline", "figure"}
+        assert embedded["counters"]["replay.runs"] > 0
+        fresh = summarize(read_events(results / "trace.jsonl")).as_dict()
+        assert embedded == fresh
+
+    def test_manifest_roundtrips_summary(self, run, tmp_path):
+        from repro.orchestrator.manifest import RunManifest
+
+        manifest, _, _ = run
+        manifest.save(tmp_path / "manifest.json")
+        loaded = RunManifest.load(tmp_path / "manifest.json")
+        assert loaded.trace_summary == manifest.trace_summary
+
+    def test_trace_cli_views(self, run, capsys):
+        from repro.cli import main
+
+        _, _, results = run
+        trace_arg = ["--trace", str(results / "trace.jsonl")]
+        assert main(["trace", "summarize", *trace_arg]) == 0
+        assert "stage" in capsys.readouterr().out
+        assert main(["trace", "summarize", "--markdown", *trace_arg]) == 0
+        assert "| stage |" in capsys.readouterr().out
+        assert main(["trace", "timeline", *trace_arg]) == 0
+        assert "figure:fig02" in capsys.readouterr().out
+        assert main(["trace", "critical-path", *trace_arg]) == 0
+        assert "critical path:" in capsys.readouterr().out
+        assert main(["trace", "tree", *trace_arg]) == 0
+        assert "run" in capsys.readouterr().out
+
+    def test_trace_cli_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", "--trace", str(tmp_path / "x.jsonl")]) == 2
+
+    def test_obs_off_run_leaves_no_trace(self, tmp_path):
+        from repro.orchestrator.runall import run_all
+
+        obs.configure(enabled=False)
+        try:
+            manifest, texts = run_all(
+                figures=["table1"],
+                jobs=1,
+                n_events=EVENTS,
+                cache_dir=None,
+                results_dir=str(tmp_path),
+            )
+        finally:
+            obs.configure_from_env()
+        assert not (tmp_path / "trace.jsonl").exists()
+        assert manifest.trace_summary == {}
+        assert "table1" in texts

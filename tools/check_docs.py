@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate: prose must not drift from the code.
+
+Greps the maintained documents (README.md, DESIGN.md, EXPERIMENTS.md,
+ROADMAP.md) for three kinds of references and verifies each against the
+repository:
+
+* dotted module paths (``repro.obs.trace``) — must resolve to a module
+  or package under ``src/``;
+* file paths (``src/repro/...``, ``tools/...``, ``examples/...``,
+  ``tests/...``) — must exist on disk;
+* CLI references (``repro <subcommand>`` and ``--flags`` mentioned near
+  them) — must exist in :func:`repro.cli.build_parser`'s option tree.
+
+Any dangling reference fails the build: stale docs are worse than no
+docs, because they are trusted.
+
+Run:  python tools/check_docs.py [--list]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+#: Flags that belong to tools other than ``repro`` (pytest, pip, git...)
+#: and are legitimately mentioned in the docs.
+FOREIGN_FLAGS = {
+    "--maxfail", "--cov", "--user", "--upgrade", "--help",
+}
+
+
+def module_exists(dotted: str) -> bool:
+    """True when ``repro.x.y`` resolves to a module, package, or a
+    top-level name inside one (``repro.bpu.runner.resolve_kernel``)."""
+    parts = dotted.split(".")
+    base = SRC.joinpath(*parts)
+    if base.with_suffix(".py").exists() or (base / "__init__.py").exists():
+        return True
+    parent = SRC.joinpath(*parts[:-1])
+    name = re.escape(parts[-1])
+    for candidate in (parent.with_suffix(".py"), parent / "__init__.py"):
+        if candidate.exists():
+            return re.search(
+                rf"^\s*(?:def {name}\(|class {name}\b|{name}\s*[=:])",
+                candidate.read_text(), re.MULTILINE,
+            ) is not None
+    return False
+
+
+def _iter_doc_lines():
+    for name in DOCS:
+        path = ROOT / name
+        if not path.exists():
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            yield name, lineno, line
+
+
+def collect_cli_vocabulary():
+    """All subcommand names and option strings of the ``repro`` CLI."""
+    sys.path.insert(0, str(SRC))
+    from repro.cli import build_parser  # noqa: E402
+
+    parser = build_parser()
+    commands: set = set()
+    flags: set = set()
+
+    def walk(p: argparse.ArgumentParser) -> None:
+        for action in p._actions:  # noqa: SLF001 - argparse has no public API
+            flags.update(opt for opt in action.option_strings if opt.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):  # noqa: SLF001
+                for name, sub in action.choices.items():
+                    commands.add(name)
+                    walk(sub)
+
+    walk(parser)
+    return commands, flags
+
+
+def check() -> list:
+    """Return (doc, lineno, message) for every dangling reference."""
+    commands, flags = collect_cli_vocabulary()
+    problems = []
+
+    module_re = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+\b")
+    path_re = re.compile(r"\b(?:src|tools|examples|tests)/[\w./-]+\.\w+")
+    flag_re = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*\b")
+    cmd_re = re.compile(r"`(?:python -m repro\.cli|repro) ([a-z-]+)")
+
+    for doc, lineno, line in _iter_doc_lines():
+        for match in module_re.finditer(line):
+            dotted = match.group(0)
+            # "repro.cli <command>" style mentions name the module itself.
+            if not module_exists(dotted):
+                problems.append((doc, lineno, f"module not found: {dotted}"))
+        for match in path_re.finditer(line):
+            rel = match.group(0)
+            if not (ROOT / rel).exists():
+                problems.append((doc, lineno, f"path not found: {rel}"))
+        for match in cmd_re.finditer(line):
+            cmd = match.group(1)
+            if cmd not in commands:
+                problems.append((doc, lineno, f"unknown repro subcommand: {cmd}"))
+        # Only hold lines that talk about this CLI to its flag vocabulary.
+        if "repro" in line:
+            for match in flag_re.finditer(line):
+                flag = match.group(0)
+                if flag not in flags and flag not in FOREIGN_FLAGS:
+                    problems.append((doc, lineno, f"unknown repro flag: {flag}"))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every reference checked (debugging aid)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check()
+    checked = sum(1 for _ in _iter_doc_lines())
+    print(f"docs-consistency: scanned {checked} lines across "
+          f"{sum(1 for d in DOCS if (ROOT / d).exists())} documents")
+    if args.list or problems:
+        for doc, lineno, message in problems:
+            print(f"  {doc}:{lineno}: {message}")
+    if problems:
+        print(f"FAIL: {len(problems)} dangling reference(s) — update the docs "
+              "or the code they describe")
+        return 1
+    print("OK: no dangling references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate: every public API should explain itself.
+
+Walks ``src/repro`` with ``ast`` and measures the fraction of public
+modules, classes, and functions/methods that carry a docstring.  Short
+function bodies (two statements or fewer — accessors, trivial interface
+implementations like a predictor's ``reset``) are exempt: forcing a
+docstring onto ``return self._x`` documents nothing.  The threshold is
+a ratchet: it sits just below the current coverage, so new undocumented
+code fails CI while the bar only ever moves up.
+
+Run:  python tools/check_docstrings.py [--min-coverage 0.9] [--list]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+#: The ratchet. Raise it when coverage improves; never lower it.
+DEFAULT_MIN_COVERAGE = 0.98
+
+#: Function bodies at or below this many statements are exempt.
+TRIVIAL_BODY_STATEMENTS = 2
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_trivial(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # don't count an existing docstring as a statement
+    return len(body) <= TRIVIAL_BODY_STATEMENTS
+
+
+def iter_definitions(path: pathlib.Path):
+    """Yield (qualname, has_docstring) for the module and each public def."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module = str(path.relative_to(ROOT))
+    results = [(module, ast.get_docstring(tree) is not None)]
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}{child.name}"
+                if is_public(child.name) and not _is_trivial(child):
+                    results.append(
+                        (f"{module}:{name}", ast.get_docstring(child) is not None)
+                    )
+                # Private classes keep private docs policy too: the
+                # underscore convention applies to the whole subtree.
+                if isinstance(child, ast.ClassDef) and is_public(child.name):
+                    visit(child, f"{name}.")
+
+    visit(tree, "")
+    yield from results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-coverage", type=float, default=DEFAULT_MIN_COVERAGE,
+        help="fail below this fraction of documented definitions",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print every undocumented definition"
+    )
+    args = parser.parse_args(argv)
+
+    documented = 0
+    missing: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        for qualname, has_doc in iter_definitions(path):
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(qualname)
+
+    total = documented + len(missing)
+    coverage = documented / total if total else 1.0
+    print(f"docstring coverage: {documented}/{total} public definitions "
+          f"({100 * coverage:.1f}%, ratchet {100 * args.min_coverage:.1f}%)")
+    if args.list or coverage < args.min_coverage:
+        for name in missing:
+            print(f"  missing: {name}")
+    if coverage < args.min_coverage:
+        print("FAIL: document the definitions above (or raise their visibility "
+              "into the underscore namespace)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
