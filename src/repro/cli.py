@@ -20,9 +20,17 @@ Commands
     per-app pipelines run in parallel across ``--jobs`` processes, and
     every intermediate persists in the artifact cache, so repeat runs
     are cache-hit dominated.  Writes a run manifest next to the figure
-    outputs.
-``cache {stats,clear}``
-    Inspect or empty the on-disk artifact cache.
+    outputs.  Robustness: failed/crashed/hung tasks are retried
+    (``--retries``, ``--task-timeout``); ``--fail-fast`` aborts on the
+    first failure instead of completing independent figures; every run
+    is journaled under ``<results>/runs`` so ``--resume RUN_ID``
+    finishes an interrupted run (SIGINT/SIGTERM drain cleanly, exit
+    130).  ``REPRO_FAULTS`` injects deterministic faults for testing
+    (see ``repro.orchestrator.faults``).
+``cache {stats,clear,verify}``
+    Inspect or empty the on-disk artifact cache, or integrity-scan it:
+    ``verify`` checks every artifact's checksum footer and quarantines
+    (or with ``--no-quarantine`` just reports) corrupt files.
 ``bench``
     Time the scalar vs vector replay kernels and append a row to the
     tracked benchmark history (``benchmarks/perf/BENCH_kernels.json``);
@@ -155,6 +163,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             results_dir=args.results,
             log=print,
+            retries=args.retries if args.retries is not None else runall.DEFAULT_RETRIES,
+            task_timeout=args.task_timeout,
+            keep_going=not args.fail_fast,
+            run_id=args.run_id,
+            resume=args.resume,
         )
     except ValueError as error:
         print(error)
@@ -168,7 +181,15 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         print(line)
     if args.results:
         print(f"manifest: {pathlib.Path(args.results) / 'manifest.json'}")
-    return 0 if manifest.counts().get("failed", 0) == 0 else 1
+    if manifest.interrupted:
+        print(f"interrupted — resume with: repro run-all --resume {manifest.run_id}")
+        return 130
+    counts = manifest.counts()
+    if counts.get("failed", 0) or counts.get("cancelled", 0):
+        if manifest.run_id:
+            print(f"incomplete — resume with: repro run-all --resume {manifest.run_id}")
+        return 1
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -184,6 +205,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             return 2
         print(f"removed {removed} cached artifacts from {store.root}")
         return 0
+
+    if args.action == "verify":
+        report = store.verify(quarantine_bad=not args.no_quarantine)
+        print(f"scanned {report['scanned']} artifacts: {report['ok']} ok, "
+              f"{len(report['corrupt'])} corrupt")
+        for relative in report["corrupt"]:
+            action = "quarantined" if relative in report["quarantined"] else "left in place"
+            print(f"  CORRUPT {relative} ({action})")
+        return 1 if report["corrupt"] and args.no_quarantine else 0
 
     usage = store.disk_usage()
     total_entries = sum(count for count, _ in usage.values())
@@ -342,18 +372,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_all.add_argument(
         "--results", default="benchmarks/results",
-        help="directory for figure texts and the run manifest",
+        help="directory for figure texts, the run manifest, and run journals",
+    )
+    run_all.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per task after a failure/crash/timeout "
+        "(default: 1, exponential backoff with deterministic jitter)",
+    )
+    run_all.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline; hung workers are terminated and the "
+        "task retried (jobs>1 only)",
+    )
+    run_all.add_argument(
+        "--keep-going", dest="fail_fast", action="store_false", default=False,
+        help="on a task failure, still complete every independent figure "
+        "(the default); only the failed task's dependents are skipped",
+    )
+    run_all.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="abort on the first task failure: drain in-flight work, "
+        "cancel the rest, leave a resumable journal",
+    )
+    run_all.add_argument(
+        "--run-id", default=None,
+        help="journal id for this run (default: derived from time + pid)",
+    )
+    run_all.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="complete a previous run from its journal under "
+        "<results>/runs/: finished tasks are skipped, the rest execute",
     )
     run_all.set_defaults(func=_cmd_run_all)
 
-    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, verify, or clear the artifact cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "verify"))
     cache.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, help="artifact cache directory"
     )
     cache.add_argument(
         "--kind", default=None,
         help="restrict `clear` to one artifact kind (trace, prediction, ...)",
+    )
+    cache.add_argument(
+        "--no-quarantine", action="store_true",
+        help="verify only reports corrupt artifacts instead of moving "
+        "them to quarantine/ (exit 1 when any are found)",
     )
     cache.set_defaults(func=_cmd_cache)
 

@@ -47,6 +47,9 @@ class StageStats:
     wall: float = 0.0
     cpu: float = 0.0
     queue_wait: float = 0.0
+    #: Recovered-from incidents: retries + worker deaths + timeouts
+    #: summed over the stage's task events.
+    faults: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -54,6 +57,7 @@ class StageStats:
             "wall": round(self.wall, 4),
             "cpu": round(self.cpu, 4),
             "queue_wait": round(self.queue_wait, 4),
+            "faults": self.faults,
         }
 
 
@@ -134,6 +138,13 @@ def summarize(events: List[dict]) -> TraceSummary:
         for task in tasks:
             kind = task.get("kind") or task.get("name", "?")
             stats = summary.stages.setdefault(kind, StageStats())
+            # Retries subsume the deaths/timeouts that caused them; take
+            # the larger so a death on the final (unretried) attempt
+            # still counts, without double-counting retried ones.
+            stats.faults += max(
+                max(0, int(task.get("attempts", 1) or 1) - 1),
+                int(task.get("worker_deaths", 0)) + int(task.get("timeouts", 0)),
+            )
             if task.get("status") == "done":
                 stats.count += 1
                 stats.wall += float(task.get("seconds", 0.0))
@@ -191,15 +202,19 @@ def summary_lines(summary: TraceSummary, markdown: bool = False) -> List[str]:
         lines.append(f"peak RSS: {summary.max_rss_kb / 1024:.0f} MB")
     lines.append("")
     lines.append(f"{'stage':<14s} {'count':>5s} {'wall s':>9s} {'cpu s':>9s} "
-                 f"{'queue s':>9s} {'share':>6s}")
+                 f"{'queue s':>9s} {'share':>6s} {'faults':>6s}")
     total = summary.busy_seconds or 1.0
     for name, stats in sorted(
         summary.stages.items(), key=lambda kv: kv[1].wall, reverse=True
     ):
         lines.append(
             f"{name:<14s} {stats.count:5d} {stats.wall:9.2f} {stats.cpu:9.2f} "
-            f"{stats.queue_wait:9.2f} {100 * stats.wall / total:5.1f}%"
+            f"{stats.queue_wait:9.2f} {100 * stats.wall / total:5.1f}% "
+            f"{stats.faults:6d}"
         )
+    quarantined = summary.counters.get("cache.quarantined", 0)
+    if quarantined:
+        lines.append(f"quarantined artifacts: {quarantined:.0f}")
     if summary.figures:
         lines.append("")
         lines.append(f"{'figure':<10s} {'wall s':>9s}  status")
@@ -218,8 +233,8 @@ def summary_lines(summary: TraceSummary, markdown: bool = False) -> List[str]:
 
 def _summary_markdown(summary: TraceSummary) -> List[str]:
     lines = [
-        "| stage | count | wall s | cpu s | queue s | share |",
-        "|---|---:|---:|---:|---:|---:|",
+        "| stage | count | wall s | cpu s | queue s | share | faults |",
+        "|---|---:|---:|---:|---:|---:|---:|",
     ]
     total = summary.busy_seconds or 1.0
     for name, stats in sorted(
@@ -227,7 +242,8 @@ def _summary_markdown(summary: TraceSummary) -> List[str]:
     ):
         lines.append(
             f"| {name} | {stats.count} | {stats.wall:.2f} | {stats.cpu:.2f} "
-            f"| {stats.queue_wait:.2f} | {100 * stats.wall / total:.1f}% |"
+            f"| {stats.queue_wait:.2f} | {100 * stats.wall / total:.1f}% "
+            f"| {stats.faults} |"
         )
     lines.append("")
     lines.append(

@@ -1,43 +1,83 @@
 """Experiment orchestration: persistent artifact store + parallel runner.
 
-Three layers (see DESIGN.md):
+Four layers (see DESIGN.md):
 
 * :mod:`.keys` / :mod:`.store` — content-addressed on-disk persistence
   of every expensive intermediate (traces, baseline runs, profiles,
-  trained optimizers, timing results);
+  trained optimizers, timing results), with checksum-sealed files and
+  quarantine of anything that fails integrity;
 * :mod:`.scheduler` — a dependency-aware task graph executed inline or
-  across a process pool;
+  across a supervised worker pool, with per-task timeouts, bounded
+  retries, and typed dead-worker errors;
+* :mod:`.journal` — append-only run journals behind
+  ``repro run-all --resume``;
 * :mod:`.manifest` / :mod:`.metrics` — per-run observability: task wall
-  times, cache hit/miss counters, worker utilisation.
+  times, cache hit/miss counters, worker utilisation, fault totals.
 
+:mod:`.faults` provides the deterministic fault-injection plan
+(``REPRO_FAULTS``) the chaos suite drives all of the above with.
 :mod:`.runall` (imported explicitly, not re-exported here, because it
-pulls in the whole experiment suite) wires the three together behind
+pulls in the whole experiment suite) wires everything together behind
 ``repro run-all``.
 """
 
+from .faults import FaultInjector, FaultRule, InjectedFault, parse_spec
+from .journal import RunJournal, journal_path, list_runs, load_journal
 from .keys import CODE_SCHEMA_VERSION, artifact_key, canonical_json, fingerprint
 from .manifest import MANIFEST_NAME, RunManifest, load_manifest
-from .metrics import Timer, aggregate_cache_stats, hit_rate, worker_utilisation
-from .scheduler import TaskGraph, TaskRecord, TaskSpec
-from .store import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ArtifactStore, CacheStats
+from .metrics import (
+    Timer,
+    aggregate_cache_stats,
+    fault_totals,
+    hit_rate,
+    worker_utilisation,
+)
+from .scheduler import (
+    RetryPolicy,
+    TaskGraph,
+    TaskRecord,
+    TaskSpec,
+    TaskTimeout,
+    WorkerDied,
+)
+from .store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ArtifactStore,
+    CacheStats,
+    CorruptArtifact,
+)
 
 __all__ = [
     "ArtifactStore",
     "CacheStats",
     "CACHE_DIR_ENV",
     "CODE_SCHEMA_VERSION",
+    "CorruptArtifact",
     "DEFAULT_CACHE_DIR",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
     "MANIFEST_NAME",
+    "RetryPolicy",
+    "RunJournal",
     "RunManifest",
     "TaskGraph",
     "TaskRecord",
     "TaskSpec",
+    "TaskTimeout",
     "Timer",
+    "WorkerDied",
     "aggregate_cache_stats",
     "artifact_key",
     "canonical_json",
+    "fault_totals",
     "fingerprint",
     "hit_rate",
+    "journal_path",
+    "list_runs",
+    "load_journal",
     "load_manifest",
+    "parse_spec",
     "worker_utilisation",
 ]

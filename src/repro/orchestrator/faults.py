@@ -1,0 +1,352 @@
+"""Deterministic fault injection for the orchestrator (``REPRO_FAULTS``).
+
+Every robustness promise the orchestrator makes — retries recover from
+dead workers, timeouts reclaim hung tasks, corrupt artifacts are
+quarantined instead of served, failed writes never commit partial files
+— is only trustworthy if the failure path can be *driven*, the same way
+the vector kernels are only trusted because the scalar path replays them
+bit-identically.  This module is that driver: a seeded, reproducible
+fault plan parsed from the ``REPRO_FAULTS`` environment variable and
+consulted at well-defined sites in the store and the scheduler.
+
+Spec grammar
+------------
+::
+
+    REPRO_FAULTS = rule [";" rule]*
+    rule         = site [":" option ["," option]*]
+    site         = "crash_task" | "hang_task" | "corrupt_artifact" | "fail_write"
+    option       = "match=" glob      fnmatch over the site name (default "*")
+                 | "nth=" int         fire on the nth matching occurrence
+                 | "p=" float         else fire with probability p per occurrence
+                 | "seed=" int        RNG seed for p (default 0)
+                 | "attempts=" int    fire only while task attempt <= this (default 1)
+                 | "delay=" float     hang duration in seconds (hang_task, default 30)
+                 | "once=1"           fire at most once run-wide (needs a state dir)
+
+Site names the rules match against:
+
+* ``crash_task`` / ``hang_task`` — the task name (``baseline:mysql``,
+  ``figure:fig02``); checked by the scheduler's worker wrapper as the
+  task starts.  A crash is ``os._exit`` in a worker process (the parent
+  sees a dead worker), or a raised :class:`InjectedFault` inline.
+* ``fail_write`` / ``corrupt_artifact`` — the artifact reference
+  ``<kind>/<key>``; checked by :meth:`ArtifactStore.put`.
+
+Determinism
+-----------
+Probability triggers hash ``(seed, site, name, occurrence, attempt)``
+through SHA-256 — no global RNG state, so the same spec fires the same
+faults regardless of scheduling order or process boundaries.  Occurrence
+counters are process-local; because the scheduler runs each task attempt
+in a fresh worker process, a rule's default ``attempts=1`` makes the
+*retry* of a faulted task succeed, which is exactly the recovery story
+the chaos suite exercises.  ``once=1`` additionally latches run-wide
+through an atomically-created marker file under ``REPRO_FAULTS_STATE``
+so recovery work (e.g. the re-put of a quarantined artifact) is not
+re-faulted by another process.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+
+#: Environment variable holding the fault spec; empty/unset disables injection.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Directory for cross-process ``once`` latches (optional).
+FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
+
+#: The injection sites threaded through store and scheduler.
+SITES = ("crash_task", "hang_task", "corrupt_artifact", "fail_write")
+
+#: Exit code a crash-faulted worker dies with (distinctive in WorkerDied).
+CRASH_EXIT_CODE = 73
+
+
+class FaultSpecError(ValueError):
+    """The ``REPRO_FAULTS`` string does not parse."""
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic fault fired at an injection site.
+
+    Carries the site and the matched name so task records and traces can
+    distinguish injected failures from organic ones.
+    """
+
+    def __init__(self, site: str, name: str) -> None:
+        self.site = site
+        self.name = name
+        super().__init__(f"injected fault {site} at {name!r}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed rule of the fault plan."""
+
+    site: str
+    match: str = "*"
+    nth: Optional[int] = None
+    p: Optional[float] = None
+    seed: int = 0
+    attempts: int = 1
+    delay: float = 30.0
+    once: bool = False
+
+    def describe(self) -> str:
+        """The rule back in spec-grammar form (logs and fault events)."""
+        parts = [self.site]
+        options = []
+        if self.match != "*":
+            options.append(f"match={self.match}")
+        if self.nth is not None:
+            options.append(f"nth={self.nth}")
+        if self.p is not None:
+            options.append(f"p={self.p}")
+            options.append(f"seed={self.seed}")
+        if self.attempts != 1:
+            options.append(f"attempts={self.attempts}")
+        if self.once:
+            options.append("once=1")
+        if options:
+            parts.append(",".join(options))
+        return ":".join(parts)
+
+
+def parse_spec(text: str) -> Tuple[FaultRule, ...]:
+    """Parse a ``REPRO_FAULTS`` value into rules; raises :class:`FaultSpecError`."""
+    rules: List[FaultRule] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        site, _, option_text = chunk.partition(":")
+        site = site.strip()
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r}; expected one of {SITES}"
+            )
+        fields: Dict[str, object] = {"site": site}
+        for option in option_text.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            key, sep, value = option.partition("=")
+            if not sep:
+                raise FaultSpecError(f"malformed option {option!r} in {chunk!r}")
+            try:
+                if key == "match":
+                    fields["match"] = value
+                elif key == "nth":
+                    fields["nth"] = int(value)
+                elif key == "p":
+                    fields["p"] = float(value)
+                elif key == "seed":
+                    fields["seed"] = int(value)
+                elif key == "attempts":
+                    fields["attempts"] = int(value)
+                elif key == "delay":
+                    fields["delay"] = float(value)
+                elif key == "once":
+                    fields["once"] = bool(int(value))
+                else:
+                    raise FaultSpecError(
+                        f"unknown option {key!r} in fault rule {chunk!r}"
+                    )
+            except ValueError as error:
+                if isinstance(error, FaultSpecError):
+                    raise
+                raise FaultSpecError(
+                    f"bad value for {key!r} in fault rule {chunk!r}: {value!r}"
+                ) from None
+        rule = FaultRule(**fields)  # type: ignore[arg-type]
+        if rule.p is not None and not 0.0 <= rule.p <= 1.0:
+            raise FaultSpecError(f"probability out of range in {chunk!r}")
+        rules.append(rule)
+    return tuple(rules)
+
+
+def _unit_hash(*parts: object) -> float:
+    """Deterministic hash of ``parts`` mapped to [0, 1)."""
+    digest = hashlib.sha256("|".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+# ----------------------------------------------------------------------
+# Attempt / worker context (set by the scheduler around each task)
+# ----------------------------------------------------------------------
+_current_attempt = 1
+_in_worker = False
+
+
+def set_attempt(attempt: int) -> None:
+    """Record which task attempt is running (1-based; rules gate on it)."""
+    global _current_attempt
+    _current_attempt = max(1, int(attempt))
+
+
+def current_attempt() -> int:
+    """The task attempt in effect for rule gating (1 outside any task)."""
+    return _current_attempt
+
+
+def enter_worker(attempt: int) -> None:
+    """Mark this process as a pool worker running ``attempt`` of a task.
+
+    In a worker, ``crash_task`` uses ``os._exit`` so the parent observes
+    a genuinely dead process; inline it degrades to a raised exception.
+    """
+    global _in_worker
+    _in_worker = True
+    set_attempt(attempt)
+
+
+class FaultInjector:
+    """Evaluates a fault plan at the injection sites.
+
+    Occurrence counters live on the instance, so one injector must be
+    reused for the lifetime of a process (see :func:`active`).
+    """
+
+    def __init__(self, rules: Tuple[FaultRule, ...], state_dir: Optional[str] = None) -> None:
+        self.rules = rules
+        self.state_dir = state_dir
+        self._occurrences: Dict[int, int] = {}
+        self._fired_local: set = set()
+
+    # ------------------------------------------------------------------
+    def _latched(self, index: int) -> bool:
+        """Has a ``once`` rule already fired (any process)?"""
+        if index in self._fired_local:
+            return True
+        if self.state_dir:
+            return os.path.exists(self._latch_path(index))
+        return False
+
+    def _latch_path(self, index: int) -> str:
+        return os.path.join(self.state_dir or "", f"fault-rule-{index}.fired")
+
+    def _latch(self, index: int) -> bool:
+        """Claim a ``once`` rule; False when another process beat us."""
+        self._fired_local.add(index)
+        if not self.state_dir:
+            return True
+        try:
+            os.makedirs(self.state_dir, exist_ok=True)
+            fd = os.open(self._latch_path(index), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+            return True
+        except FileExistsError:
+            return False
+        except OSError:
+            return True  # latch dir unusable; degrade to process-local
+
+    # ------------------------------------------------------------------
+    def check(self, site: str, name: str) -> Optional[FaultRule]:
+        """The first rule that fires for this occurrence, or None.
+
+        Every matching rule's occurrence counter advances whether or not
+        it fires, so ``nth`` counts *occurrences*, not prior misses.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not fnmatch.fnmatch(name, rule.match):
+                continue
+            if current_attempt() > rule.attempts:
+                continue
+            occurrence = self._occurrences.get(index, 0) + 1
+            self._occurrences[index] = occurrence
+            if rule.nth is not None:
+                fires = occurrence == rule.nth
+            elif rule.p is not None:
+                fires = (
+                    _unit_hash(rule.seed, site, name, occurrence, current_attempt())
+                    < rule.p
+                )
+            else:
+                fires = True
+            if not fires:
+                continue
+            if rule.once and (self._latched(index) or not self._latch(index)):
+                continue
+            obs.add("faults.injected")
+            obs.add(f"faults.{site}")
+            obs.event(
+                "fault", site=site, name=name, rule=rule.describe(),
+                occurrence=occurrence, attempt=current_attempt(),
+            )
+            return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # Site helpers
+    # ------------------------------------------------------------------
+    def on_task_start(self, task_name: str) -> None:
+        """Scheduler hook: crash or hang the current task if planned."""
+        if self.check("crash_task", task_name) is not None:
+            if _in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFault("crash_task", task_name)
+        rule = self.check("hang_task", task_name)
+        if rule is not None:
+            time.sleep(rule.delay)
+
+    def on_store_write(self, ref: str) -> None:
+        """Store hook: abort this write (simulated ENOSPC / torn write)."""
+        if self.check("fail_write", ref) is not None:
+            raise InjectedFault("fail_write", ref)
+
+    def corrupt_bytes(self, ref: str, payload: bytes) -> bytes:
+        """Store hook: deterministically damage a committed payload.
+
+        Flips one byte at a hash-chosen offset — enough that the
+        checksum footer no longer verifies, so the read path must
+        quarantine the file instead of decoding garbage.
+        """
+        rule = self.check("corrupt_artifact", ref)
+        if rule is None or not payload:
+            return payload
+        offset = int(_unit_hash(rule.seed, "offset", ref) * len(payload))
+        damaged = bytearray(payload)
+        damaged[offset] ^= 0xFF
+        return bytes(damaged)
+
+
+# ----------------------------------------------------------------------
+# Process-wide injector (parsed once per distinct env value)
+# ----------------------------------------------------------------------
+_active: Optional[FaultInjector] = None
+_active_spec: Optional[str] = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The process's injector per ``REPRO_FAULTS``, or None when unset.
+
+    The instance (and its occurrence counters) persists until the env
+    value changes — tests that rewrite ``REPRO_FAULTS`` get a fresh plan
+    automatically.
+    """
+    global _active, _active_spec
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if spec != _active_spec:
+        _active_spec = spec
+        _active = (
+            FaultInjector(parse_spec(spec), os.environ.get(FAULTS_STATE_ENV) or None)
+            if spec
+            else None
+        )
+    return _active
+
+
+def reset() -> None:
+    """Drop the cached injector (tests; fresh occurrence counters)."""
+    global _active, _active_spec
+    _active = None
+    _active_spec = None

@@ -1,0 +1,185 @@
+"""Run journals: the crash-safe state that makes ``run-all`` resumable.
+
+A journal is an append-only JSONL file under
+``<results>/runs/<run_id>.jsonl``.  The first line records the run's
+parameters (figures, event count, cache directory); one line is
+appended — flushed and fsynced — the moment each task reaches a terminal
+state.  Because every write is a single appended line, the journal is
+meaningful after *any* interruption: SIGKILL mid-run, a crashed parent,
+a power cut.  Whatever tasks have ``done`` lines are finished (their
+artifacts were committed to the store before the line was written);
+everything else is incomplete.
+
+``repro run-all --resume <run_id>`` replays a journal: the recorded
+parameters rebuild the identical task graph, the ``done`` set
+pre-satisfies those tasks in the scheduler, and only the incomplete
+remainder executes.  The resumed run appends to the same journal (a
+``resume`` marker line separates sessions), so a run can be interrupted
+and resumed any number of times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from .scheduler import DONE, TaskRecord
+
+PathLike = Union[str, pathlib.Path]
+
+#: Subdirectory of the results dir holding one journal per run.
+RUNS_DIR_NAME = "runs"
+
+JOURNAL_FORMAT = "repro-run-journal"
+JOURNAL_VERSION = 1
+
+
+def journal_path(results_dir: PathLike, run_id: str) -> pathlib.Path:
+    """Where the journal for ``run_id`` lives under ``results_dir``."""
+    return pathlib.Path(results_dir) / RUNS_DIR_NAME / f"{run_id}.jsonl"
+
+
+def list_runs(results_dir: PathLike) -> List[str]:
+    """Run ids with a journal under ``results_dir``, oldest first."""
+    directory = pathlib.Path(results_dir) / RUNS_DIR_NAME
+    if not directory.is_dir():
+        return []
+    paths = sorted(directory.glob("*.jsonl"), key=lambda p: p.stat().st_mtime)
+    return [p.stem for p in paths]
+
+
+@dataclass
+class JournalState:
+    """A parsed journal: the run's parameters plus task outcomes."""
+
+    run_id: str
+    params: Dict[str, object]
+    #: Task name -> last terminal status seen for it.
+    task_status: Dict[str, str] = field(default_factory=dict)
+    sessions: int = 1
+    ended: bool = False
+
+    @property
+    def completed(self) -> Set[str]:
+        """Tasks that never need to run again."""
+        return {name for name, status in self.task_status.items() if status == DONE}
+
+
+class RunJournal:
+    """Append-only writer for one run's journal file."""
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+
+    # ------------------------------------------------------------------
+    def _append(self, line: dict) -> None:
+        """One fsynced JSONL line — the atom of crash-safety here."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(line) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def start(
+        cls, results_dir: PathLike, run_id: str, params: Dict[str, object]
+    ) -> "RunJournal":
+        """Open a fresh journal and write its parameter header."""
+        journal = cls(journal_path(results_dir, run_id))
+        journal._append({
+            "type": "run",
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_VERSION,
+            "run_id": run_id,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "params": params,
+        })
+        return journal
+
+    @classmethod
+    def resume(cls, results_dir: PathLike, run_id: str) -> "RunJournal":
+        """Reopen an existing journal, marking a new session."""
+        journal = cls(journal_path(results_dir, run_id))
+        if not journal.path.exists():
+            raise FileNotFoundError(
+                f"no journal for run {run_id!r} under {journal.path.parent}"
+            )
+        journal._append(
+            {"type": "resume", "at": time.strftime("%Y-%m-%dT%H:%M:%S")}
+        )
+        return journal
+
+    # ------------------------------------------------------------------
+    def record_task(self, record: TaskRecord) -> None:
+        """Journal one task's terminal state (the scheduler's hook).
+
+        Resumed records are not re-journaled — their ``done`` line is
+        already in the file from the session that executed them.
+        """
+        if record.resumed:
+            return
+        self._append({
+            "type": "task",
+            "name": record.name,
+            "status": record.status,
+            "attempts": record.attempts,
+            "seconds": round(record.seconds, 4),
+            "error": record.error.strip().splitlines()[-1] if record.error else "",
+        })
+
+    def finish(self, interrupted: bool, failed: int, cancelled: int) -> None:
+        """Terminal marker; its absence means the run died uncleanly."""
+        self._append({
+            "type": "end",
+            "interrupted": interrupted,
+            "failed": failed,
+            "cancelled": cancelled,
+            "at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        })
+
+
+def load_journal(results_dir: PathLike, run_id: str) -> Optional[JournalState]:
+    """Parse a journal into resumable state; None when absent.
+
+    Torn trailing lines (the process died mid-append) are ignored —
+    everything before them is still valid, which is the point of the
+    append-only format.
+    """
+    path = journal_path(results_dir, run_id)
+    if not path.exists():
+        return None
+    state: Optional[JournalState] = None
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # torn final write
+        kind = entry.get("type")
+        if kind == "run":
+            if entry.get("format") != JOURNAL_FORMAT:
+                return None
+            state = JournalState(
+                run_id=str(entry.get("run_id", run_id)),
+                params=dict(entry.get("params", {})),
+            )
+        elif state is None:
+            continue
+        elif kind == "task":
+            name = entry.get("name")
+            if name:
+                state.task_status[str(name)] = str(entry.get("status", ""))
+                state.ended = False
+        elif kind == "resume":
+            state.sessions += 1
+            state.ended = False
+        elif kind == "end":
+            state.ended = True
+    return state

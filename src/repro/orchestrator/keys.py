@@ -31,7 +31,10 @@ from typing import Any, Mapping
 #: v2: vectorised replay kernels — the timing simulator's cycle
 #: accounting recomposed stall sums (float association changed), so v1
 #: timing artifacts no longer match what the code produces.
-CODE_SCHEMA_VERSION = 2
+#: v3: checksum-sealed artifact files — every store file now carries an
+#: integrity footer; pre-v3 files would all land in quarantine, so a key
+#: bump retires them as clean misses instead.
+CODE_SCHEMA_VERSION = 3
 
 #: The scalar and vector replay kernels are verified bit-identical
 #: (tests/test_vector_equivalence.py), so artifact *content* does not

@@ -17,12 +17,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from .metrics import busy_seconds, hit_rate, slowest_tasks, worker_utilisation
-from .scheduler import DONE, FAILED, SKIPPED, TaskRecord
+from .scheduler import CANCELLED, DONE, FAILED, SKIPPED, TaskRecord
 
 PathLike = Union[str, pathlib.Path]
 
 MANIFEST_FORMAT = "repro-run-manifest"
-MANIFEST_VERSION = 1
+#: v2 adds run_id / interrupted / faults and per-task attempt counters;
+#: v1 manifests still load (the new fields default to empty).
+MANIFEST_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 #: Default file name, written next to the figure outputs.
 MANIFEST_NAME = "manifest.json"
@@ -45,6 +48,12 @@ class RunManifest:
     #: TraceSummary.as_dict() of the run's obs trace; empty when the
     #: observability layer was disabled (``REPRO_OBS=off``).
     trace_summary: dict = field(default_factory=dict)
+    #: Journal id of this run ("" for journal-less library runs).
+    run_id: str = ""
+    #: True when the run drained on SIGINT/SIGTERM instead of finishing.
+    interrupted: bool = False
+    #: Robustness counters (:func:`repro.orchestrator.metrics.fault_totals`).
+    faults: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -59,6 +68,9 @@ class RunManifest:
         cache_dir: str,
         wall_seconds: float,
         trace_summary: Optional[dict] = None,
+        run_id: str = "",
+        interrupted: bool = False,
+        faults: Optional[dict] = None,
     ) -> "RunManifest":
         return cls(
             scale=scale,
@@ -71,12 +83,15 @@ class RunManifest:
             tasks=[record.as_dict() for record in records],
             utilisation=round(worker_utilisation(records, jobs, wall_seconds), 4),
             trace_summary=dict(trace_summary or {}),
+            run_id=run_id,
+            interrupted=interrupted,
+            faults=dict(faults or {}),
         )
 
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
-        """Task totals by status (done / failed / skipped)."""
-        totals = {DONE: 0, FAILED: 0, SKIPPED: 0}
+        """Task totals by status (done / failed / skipped / cancelled)."""
+        totals = {DONE: 0, FAILED: 0, SKIPPED: 0, CANCELLED: 0}
         for task in self.tasks:
             totals[task["status"]] = totals.get(task["status"], 0) + 1
         return totals
@@ -86,6 +101,8 @@ class RunManifest:
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
             "created": self.created,
+            "run_id": self.run_id,
+            "interrupted": self.interrupted,
             "scale": self.scale,
             "n_events": self.n_events,
             "jobs": self.jobs,
@@ -94,6 +111,7 @@ class RunManifest:
             "wall_seconds": self.wall_seconds,
             "utilisation": self.utilisation,
             "cache": self.cache,
+            "faults": self.faults,
             "trace_summary": self.trace_summary,
             "tasks": self.tasks,
         }
@@ -110,10 +128,10 @@ class RunManifest:
         data = json.loads(pathlib.Path(path).read_text())
         if data.get("format") != MANIFEST_FORMAT:
             raise ValueError("not a repro run manifest")
-        if data.get("version") != MANIFEST_VERSION:
+        if data.get("version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported manifest version {data.get('version')!r} "
-                f"(expected {MANIFEST_VERSION})"
+                f"(expected one of {_SUPPORTED_VERSIONS})"
             )
         return cls(
             scale=data["scale"],
@@ -127,6 +145,9 @@ class RunManifest:
             utilisation=float(data["utilisation"]),
             created=data.get("created", ""),
             trace_summary=dict(data.get("trace_summary", {})),
+            run_id=str(data.get("run_id", "")),
+            interrupted=bool(data.get("interrupted", False)),
+            faults=dict(data.get("faults", {})),
         )
 
     # ------------------------------------------------------------------
@@ -134,16 +155,43 @@ class RunManifest:
         """Human-readable digest (CLI output and EXPERIMENTS.md section)."""
         counts = self.counts()
         cache = self.cache
-        lines = [
+        header = (
             f"run: {self.created}  scale={self.scale} ({self.n_events} events/app)  "
             f"jobs={self.jobs}  wall {self.wall_seconds:.1f}s  "
-            f"utilisation {100 * self.utilisation:.0f}%",
+            f"utilisation {100 * self.utilisation:.0f}%"
+        )
+        if self.run_id:
+            header += f"  id={self.run_id}"
+        if self.interrupted:
+            header += "  [INTERRUPTED — resumable]"
+        task_line = (
             f"tasks: {counts.get(DONE, 0)} done, {counts.get(FAILED, 0)} failed, "
-            f"{counts.get(SKIPPED, 0)} skipped "
-            f"(busy {busy_seconds(self._records()):.1f}s)",
+            f"{counts.get(SKIPPED, 0)} skipped"
+        )
+        if counts.get(CANCELLED, 0):
+            task_line += f", {counts[CANCELLED]} cancelled"
+        resumed = self.faults.get("resumed", 0)
+        if resumed:
+            task_line += f", {resumed} resumed"
+        task_line += f" (busy {busy_seconds(self._records()):.1f}s)"
+        lines = [
+            header,
+            task_line,
             f"cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
             f"({100 * hit_rate(cache):.0f}% hit rate), {cache.get('puts', 0)} writes",
         ]
+        fault_parts = [
+            f"{self.faults.get(key, 0)} {label}"
+            for key, label in (
+                ("retries", "retries"),
+                ("worker_deaths", "worker deaths"),
+                ("timeouts", "timeouts"),
+                ("quarantined", "quarantined artifacts"),
+            )
+            if self.faults.get(key, 0)
+        ]
+        if fault_parts:
+            lines.append("faults: " + ", ".join(fault_parts))
         for kind, stats in cache.get("kinds", {}).items():
             lines.append(
                 f"  {kind:10s} {stats.get('hits', 0):5d} hits  "
@@ -173,6 +221,10 @@ class RunManifest:
                 finished=float(t.get("finished", 0.0)),
                 worker=int(t.get("worker", 0)),
                 error=t.get("error", ""),
+                attempts=int(t.get("attempts", 0)),
+                worker_deaths=int(t.get("worker_deaths", 0)),
+                timeouts=int(t.get("timeouts", 0)),
+                resumed=bool(t.get("resumed", False)),
             )
             for t in self.tasks
         ]

@@ -43,6 +43,29 @@ def aggregate_cache_stats(results: Iterable[object]) -> dict:
     return merged.as_dict()
 
 
+def fault_totals(records: Iterable[TaskRecord], cache: Optional[dict] = None) -> dict:
+    """Run-wide robustness counters for the manifest's ``faults`` block.
+
+    ``retries`` counts attempts beyond the first (whatever their cause);
+    ``worker_deaths`` and ``timeouts`` break out the two violent causes;
+    ``quarantined`` comes from the merged cache counters' ``corrupt``
+    field; ``resumed`` counts journal-satisfied tasks.
+    """
+    totals = {
+        "retries": 0,
+        "worker_deaths": 0,
+        "timeouts": 0,
+        "quarantined": int((cache or {}).get("corrupt", 0)),
+        "resumed": 0,
+    }
+    for record in records:
+        totals["retries"] += max(0, record.attempts - 1)
+        totals["worker_deaths"] += record.worker_deaths
+        totals["timeouts"] += record.timeouts
+        totals["resumed"] += 1 if record.resumed else 0
+    return totals
+
+
 def busy_seconds(records: Iterable[TaskRecord]) -> float:
     """Total worker-occupied wall time across completed tasks."""
     return sum(r.seconds for r in records if r.status == DONE)

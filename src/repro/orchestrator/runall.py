@@ -24,7 +24,12 @@ them into the run manifest and the store's persistent stats file.
 from __future__ import annotations
 
 import importlib
+import os
 import pathlib
+import signal
+import tempfile
+import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
@@ -33,12 +38,18 @@ from ..experiments import FIGURES, figure_slug
 from ..experiments.runner import SCALE_EVENTS, ExperimentContext, events_per_app
 from ..obs.report import summarize
 from ..obs.trace import TRACE_NAME, merge_events, write_events
+from .journal import RunJournal, load_journal
 from .manifest import MANIFEST_NAME, RunManifest
-from .metrics import Timer, aggregate_cache_stats
-from .scheduler import DONE, TaskGraph
+from .metrics import Timer, aggregate_cache_stats, fault_totals
+from .scheduler import DONE, RetryPolicy, TaskGraph
 from .store import ArtifactStore
 
 DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+#: Extra attempts each task gets by default: one retry absorbs the
+#: common transient failures (a killed worker, an injected fault, an
+#: OOM'd process) without masking systematically broken code for long.
+DEFAULT_RETRIES = 1
 
 #: Warm stages each figure consumes, per data-center app.  Figures with
 #: parameter sweeps beyond the defaults (predictor-size, input-count,
@@ -232,7 +243,21 @@ def run_figure(
     if results_dir:
         directory = pathlib.Path(results_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / f"{slug}.txt").write_text(text)
+        # Atomic publish: a crash mid-write must never leave a truncated
+        # figure file that a resumed run would then trust.
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, directory / f"{slug}.txt")
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
     return {"figure": name, "slug": slug, "text": text, **_stats(ctx)}
 
 
@@ -293,6 +318,34 @@ def build_graph(
     return graph
 
 
+def _install_stop_handlers(
+    stop: threading.Event, log: Optional[Callable[[str], None]]
+) -> Dict[int, object]:
+    """Route SIGINT/SIGTERM into a drain request; returns the previous
+    handlers (restored by the caller).  Outside the main thread signal
+    handlers cannot be installed — callers simply lose ctrl-C draining,
+    nothing else."""
+    previous: Dict[int, object] = {}
+
+    def _handler(signum, frame):
+        if log is not None and not stop.is_set():
+            log("interrupt received — draining running tasks "
+                "(state is journaled; resume with --resume)")
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # not the main thread
+            pass
+    return previous
+
+
+def new_run_id() -> str:
+    """A journal id unique enough for one results directory."""
+    return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+
+
 def run_all(
     figures: Optional[Sequence[str]] = None,
     jobs: int = 1,
@@ -301,13 +354,48 @@ def run_all(
     results_dir: Optional[str] = DEFAULT_RESULTS_DIR,
     manifest_path: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    retries: int = DEFAULT_RETRIES,
+    task_timeout: Optional[float] = None,
+    keep_going: bool = True,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> Tuple[RunManifest, Dict[str, str]]:
     """Execute the suite; returns the manifest and figure texts by name.
 
     ``cache_dir=None`` disables persistence (figures recompute
     everything in-process); otherwise artifacts accumulate under
     ``cache_dir`` and repeat runs become cache-hit dominated.
+
+    Robustness: every task gets ``retries`` extra attempts (exponential
+    backoff) and, under ``task_timeout``, a per-attempt deadline; with
+    ``keep_going`` a failed task only forfeits its dependent subgraph.
+    When ``results_dir`` is set the run journals task completion under
+    ``<results_dir>/runs/<run_id>.jsonl``; ``resume=<run_id>`` reloads
+    that journal, re-executes only incomplete tasks, and appends to the
+    same file.  SIGINT/SIGTERM drain in-flight tasks and leave the
+    journal resumable.
     """
+    journal: Optional[RunJournal] = None
+    completed: Sequence[str] = ()
+    if resume is not None:
+        if not results_dir:
+            raise ValueError("--resume needs a results directory (the journal lives there)")
+        state = load_journal(results_dir, resume)
+        if state is None:
+            raise ValueError(
+                f"no journal for run {resume!r} under "
+                f"{pathlib.Path(results_dir) / 'runs'}"
+            )
+        # The journal's parameters define the run being completed; the
+        # caller may only vary execution knobs (jobs, retries, timeout).
+        params = state.params
+        figures = list(params.get("figures") or []) or figures
+        n_events = int(params["n_events"]) if "n_events" in params else n_events
+        cache_dir = params.get("cache_dir") or None
+        completed = sorted(state.completed)
+        run_id = resume
+        journal = RunJournal.resume(results_dir, resume)
+
     selected = list(figures) if figures else list(FIGURES)
     unknown = [name for name in selected if name not in FIGURES]
     if unknown:
@@ -315,13 +403,43 @@ def run_all(
             f"unknown figures {unknown}; choose from {', '.join(sorted(FIGURES))}"
         )
     n_events = n_events if n_events is not None else events_per_app()
+    run_id = run_id or new_run_id()
 
+    if journal is None and results_dir:
+        journal = RunJournal.start(
+            results_dir, run_id,
+            params={
+                "figures": selected,
+                "n_events": n_events,
+                "jobs": jobs,
+                "cache_dir": cache_dir or "",
+                "results_dir": str(results_dir),
+                "scale": scale_label(n_events),
+            },
+        )
+
+    policy = RetryPolicy(retries=max(0, retries), timeout=task_timeout)
+    stop = threading.Event()
+    previous_handlers = _install_stop_handlers(stop, log)
     graph = build_graph(selected, n_events, cache_dir, results_dir)
-    with obs.span(
-        "run", jobs=jobs, scale=scale_label(n_events), figures=len(selected)
-    ):
-        with Timer() as timer:
-            records = graph.run(jobs=jobs, log=log)
+    try:
+        with obs.span(
+            "run", jobs=jobs, scale=scale_label(n_events), figures=len(selected)
+        ):
+            with Timer() as timer:
+                records = graph.run(
+                    jobs=jobs,
+                    log=log,
+                    policy=policy,
+                    keep_going=keep_going,
+                    completed=completed,
+                    stop_event=stop,
+                    on_record=journal.record_task if journal else None,
+                )
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    interrupted = stop.is_set()
 
     cache = aggregate_cache_stats(record.result for record in records)
     if cache_dir:
@@ -348,7 +466,17 @@ def run_all(
         record.result["figure"]: record.result["text"]
         for record in records
         if record.kind == "figure" and record.status == DONE
+        and isinstance(record.result, dict)
     }
+    # Figures satisfied from the journal were written by the previous
+    # session; read them back so the caller sees the complete set.
+    if results_dir:
+        for record in records:
+            if record.kind == "figure" and record.resumed:
+                name = record.name.split(":", 1)[-1]
+                saved = pathlib.Path(results_dir) / f"{figure_slug(name)}.txt"
+                if name not in texts and saved.exists():
+                    texts[name] = saved.read_text()
     manifest = RunManifest.from_run(
         records,
         cache=cache,
@@ -359,7 +487,17 @@ def run_all(
         cache_dir=cache_dir or "",
         wall_seconds=timer.seconds,
         trace_summary=trace_summary,
+        run_id=run_id,
+        interrupted=interrupted,
+        faults=fault_totals(records, cache),
     )
+    counts = manifest.counts()
+    if journal is not None:
+        journal.finish(
+            interrupted=interrupted,
+            failed=counts.get("failed", 0),
+            cancelled=counts.get("cancelled", 0),
+        )
     if manifest_path is None and results_dir:
         manifest_path = str(pathlib.Path(results_dir) / MANIFEST_NAME)
     if manifest_path:

@@ -1,39 +1,122 @@
-"""Dependency-aware parallel task execution.
+"""Dependency-aware parallel task execution with failure containment.
 
 A :class:`TaskGraph` holds named tasks with explicit dependencies and
 runs them either inline (``jobs=1``, fully deterministic ordering) or on
-a :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``), always
-respecting the dependency edges.  Independent chains — e.g. the
-per-application trace → baseline → profile → train pipelines of the
-experiment suite — execute concurrently, which is what lets ``repro
-run-all`` scale with cores.
+a supervised worker pool (``jobs>1``), always respecting the dependency
+edges.  Independent chains — e.g. the per-application trace → baseline →
+profile → train pipelines of the experiment suite — execute
+concurrently, which is what lets ``repro run-all`` scale with cores.
 
 Tasks communicate through side effects on the shared artifact store,
 not through their return values; returns are kept small (stats dicts)
-because they cross a process boundary.  A failed task fails alone:
-its transitive dependents are marked ``skipped`` and everything else
-keeps running.
+because they cross a process boundary.
+
+Failure containment (the run must survive its workers):
+
+* Each task attempt runs in its **own supervised process** — the parent
+  watches the result pipe, so a worker that dies (segfault, OOM kill,
+  injected ``crash_task``) is detected immediately and surfaces as a
+  typed :class:`WorkerDied` naming the task and attempt, never an
+  opaque ``BrokenProcessPool`` traceback.
+* A :class:`RetryPolicy` gives every task a **per-attempt timeout**
+  (hung workers are terminated and the task reclaimed) and **bounded
+  retries with exponential backoff plus deterministic jitter**.
+* A failed task fails alone: with ``keep_going`` (the default) its
+  transitive dependents are marked ``skipped`` and everything else
+  keeps running; with ``keep_going=False`` the scheduler drains
+  in-flight work and marks the rest ``cancelled``.
+* A ``stop_event`` (wired to SIGINT/SIGTERM by ``run-all``) drains the
+  same way, so an interrupted run leaves a complete, resumable record.
+* ``completed`` names tasks already finished by a previous run
+  (journal-driven resume): they satisfy dependencies without executing.
 
 Every execution produces a list of :class:`TaskRecord`\\ s — per-task
-wall time, worker pid, status, error — which the manifest layer
-(:mod:`repro.orchestrator.manifest`) turns into the run report.
+wall time, worker pid, status, attempts, error — which the manifest
+layer (:mod:`repro.orchestrator.manifest`) turns into the run report.
 """
 
 from __future__ import annotations
 
+import heapq
+import multiprocessing
 import os
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from . import faults
 
 #: Task lifecycle states recorded in the manifest.
 DONE = "done"
 FAILED = "failed"
 SKIPPED = "skipped"
+#: Never started because the run was aborted (fail-fast) or interrupted.
+CANCELLED = "cancelled"
+
+#: How long the supervisor sleeps between liveness/deadline checks; also
+#: bounds how quickly a stop request is noticed.
+_POLL_SECONDS = 0.2
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited without delivering its task's result.
+
+    The typed replacement for the opaque ``BrokenProcessPool`` traceback
+    the pool used to surface: it names the task, the attempt, and the
+    worker's exit code, so retries and manifests can report precisely
+    what happened.
+    """
+
+    def __init__(self, task: str, attempt: int, exitcode: Optional[int]) -> None:
+        self.task = task
+        self.attempt = attempt
+        self.exitcode = exitcode
+        super().__init__(
+            f"worker running task {task!r} died on attempt {attempt} "
+            f"(exit code {exitcode})"
+        )
+
+
+class TaskTimeout(RuntimeError):
+    """A task attempt exceeded the policy's per-task timeout."""
+
+    def __init__(self, task: str, attempt: int, timeout: float) -> None:
+        self.task = task
+        self.attempt = attempt
+        self.timeout = timeout
+        super().__init__(
+            f"task {task!r} timed out after {timeout:.1f}s on attempt {attempt}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the scheduler fights for each task.
+
+    ``retries`` is the number of *extra* attempts after the first;
+    backoff grows geometrically and is stretched by a deterministic
+    jitter (hashed from task name and attempt — reproducible, but
+    decorrelated across tasks so a thundering herd of retries spreads
+    out).
+    """
+
+    retries: int = 0
+    timeout: Optional[float] = None  # per-attempt seconds; None = unbounded
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff: float = 10.0
+    jitter: float = 0.25  # fraction of the base delay
+
+    def delay(self, task: str, attempt: int) -> float:
+        """Backoff before retrying ``task`` after failed ``attempt``."""
+        base = min(
+            self.backoff * self.backoff_factor ** (attempt - 1), self.max_backoff
+        )
+        return base * (1.0 + self.jitter * faults._unit_hash("backoff", task, attempt))
 
 
 @dataclass
@@ -63,6 +146,14 @@ class TaskRecord:
     finished: float = 0.0
     worker: int = 0  # pid that executed the task
     error: str = ""
+    #: Execution attempts made (0 for skipped/cancelled/resumed tasks).
+    attempts: int = 0
+    #: Attempts lost to a dead worker process.
+    worker_deaths: int = 0
+    #: Attempts lost to the per-task timeout.
+    timeouts: int = 0
+    #: Satisfied from a previous run's journal without executing.
+    resumed: bool = False
     result: Any = field(default=None, repr=False)
 
     def as_dict(self) -> dict:
@@ -79,17 +170,44 @@ class TaskRecord:
             "finished": round(self.finished, 4),
             "worker": self.worker,
             "error": self.error,
+            "attempts": self.attempts,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
         }
 
 
 def _run_task(
-    fn: Callable[..., Any], args: Tuple[Any, ...]
+    fn: Callable[..., Any], args: Tuple[Any, ...], name: str = ""
 ) -> Tuple[Any, float, float, int]:
-    """Worker-side wrapper: measure wall + CPU time and report the pid."""
+    """Task-side wrapper: fault hook, wall + CPU time, and the pid."""
+    injector = faults.active()
+    if injector is not None:
+        injector.on_task_start(name)
     cpu0 = time.process_time()
     start = time.perf_counter()
     result = fn(*args)
     return result, time.perf_counter() - start, time.process_time() - cpu0, os.getpid()
+
+
+def _worker_entry(conn, name: str, fn, args, attempt: int) -> None:
+    """Entry point of one supervised worker process.
+
+    Ships ``("ok", payload)`` or ``("error", traceback)`` back through
+    the pipe; a worker that dies before sending anything is detected by
+    the parent as EOF on the pipe (→ :class:`WorkerDied`).
+    """
+    faults.enter_worker(attempt)
+    try:
+        outcome = ("ok", _run_task(fn, args, name))
+    except BaseException:
+        outcome = ("error", traceback.format_exc())
+    try:
+        conn.send(outcome)
+    except (BrokenPipeError, OSError):  # parent gone; nothing to report to
+        pass
+    finally:
+        conn.close()
 
 
 class TaskGraph:
@@ -149,16 +267,45 @@ class TaskGraph:
         self,
         jobs: int = 1,
         log: Optional[Callable[[str], None]] = None,
+        policy: Optional[RetryPolicy] = None,
+        keep_going: bool = True,
+        completed: Sequence[str] = (),
+        stop_event: Optional[threading.Event] = None,
+        on_record: Optional[Callable[[TaskRecord], None]] = None,
     ) -> List[TaskRecord]:
-        """Execute every task; returns records in completion order."""
+        """Execute every task; returns records in completion order.
+
+        ``completed`` tasks (a resumed run's journal) are pre-satisfied:
+        they appear as resumed DONE records with zero cost and their
+        dependents run normally.  ``on_record`` is invoked once per
+        *newly decided* task (the journaling hook).  ``stop_event``
+        requests a drain: no new tasks start, in-flight ones finish
+        (bounded by the policy timeout), the rest become ``cancelled``.
+        """
         self._validate()
+        policy = policy or RetryPolicy()
+        resumed = [name for name in completed if name in self._tasks]
         if jobs <= 1:
-            return self._run_inline(log)
-        return self._run_pool(jobs, log)
+            return self._run_inline(
+                log, policy, keep_going, resumed, stop_event, on_record
+            )
+        return self._run_pool(
+            jobs, log, policy, keep_going, resumed, stop_event, on_record
+        )
 
     # ------------------------------------------------------------------
     def _record_for(self, spec: TaskSpec) -> TaskRecord:
         return TaskRecord(name=spec.name, kind=spec.kind, app=spec.app)
+
+    def _resumed_records(self, resumed: Sequence[str]) -> List[TaskRecord]:
+        """Zero-cost DONE records for journal-satisfied tasks."""
+        records = []
+        for name in resumed:
+            record = self._record_for(self._tasks[name])
+            record.status = DONE
+            record.resumed = True
+            records.append(record)
+        return records
 
     def _emit_task_event(self, spec: TaskSpec, record: TaskRecord) -> None:
         """Task lifecycle event for the run trace (queue wait = started
@@ -176,6 +323,10 @@ class TaskGraph:
             started=round(record.started, 6),
             finished=round(record.finished, 6),
             worker=record.worker,
+            attempts=record.attempts,
+            worker_deaths=record.worker_deaths,
+            timeouts=record.timeouts,
+            resumed=record.resumed,
             deps=list(spec.deps),
         )
 
@@ -183,18 +334,49 @@ class TaskGraph:
         if log is None:
             return
         if record.status == DONE:
-            log(f"[{done}/{total}] {record.name} ({record.seconds:.1f}s)")
+            suffix = " (resumed)" if record.resumed else f" ({record.seconds:.1f}s)"
+            retried = f" [attempt {record.attempts}]" if record.attempts > 1 else ""
+            log(f"[{done}/{total}] {record.name}{suffix}{retried}")
         else:
             log(f"[{done}/{total}] {record.name} {record.status.upper()}"
                 + (f": {record.error.splitlines()[-1]}" if record.error else ""))
 
-    def _run_inline(self, log) -> List[TaskRecord]:
-        """Single-process execution in deterministic topological order."""
+    @staticmethod
+    def _note_retry(
+        log, name: str, attempt: int, policy: RetryPolicy, reason: str, delay: float
+    ) -> None:
+        """Shared retry accounting: counters, trace event, console line."""
+        obs.add("scheduler.retries")
+        obs.event("retry", task=name, attempt=attempt, delay=round(delay, 4),
+                  reason=reason.splitlines()[-1][:200] if reason else "")
+        if log is not None:
+            log(f"retrying {name} (attempt {attempt + 1}/{policy.retries + 1}, "
+                f"backoff {delay:.2f}s): {reason.splitlines()[-1] if reason else '?'}")
+
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self, log, policy: RetryPolicy, keep_going: bool,
+        resumed: Sequence[str], stop_event, on_record,
+    ) -> List[TaskRecord]:
+        """Single-process execution in deterministic topological order.
+
+        Retries apply (with the same backoff policy); per-attempt
+        timeouts cannot be enforced without a process boundary, so
+        ``policy.timeout`` is advisory here — ``jobs>1`` is the
+        supervised mode.
+        """
         t0 = time.perf_counter()
         status: Dict[str, str] = {}
         finished_at: Dict[str, float] = {}
-        records: List[TaskRecord] = []
-        remaining = dict(self._tasks)
+        records: List[TaskRecord] = list(self._resumed_records(resumed))
+        for record in records:
+            status[record.name] = DONE
+            finished_at[record.name] = 0.0
+            self._log(log, len(records), len(self._tasks), record)
+        halted = False
+        remaining = {
+            name: spec for name, spec in self._tasks.items() if name not in status
+        }
         while remaining:
             progressed = False
             for name in list(remaining):
@@ -208,41 +390,100 @@ class TaskGraph:
                     (finished_at[dep] for dep in spec.deps), default=0.0
                 )
                 record.started = time.perf_counter() - t0
-                if any(status[dep] != DONE for dep in spec.deps):
+                interrupted = stop_event is not None and stop_event.is_set()
+                if halted or interrupted:
+                    record.status = CANCELLED
+                    record.error = (
+                        "interrupted" if interrupted else "aborted after failure"
+                    )
+                elif any(status[dep] != DONE for dep in spec.deps):
                     record.status = SKIPPED
                     record.error = "dependency failed"
                 else:
-                    try:
-                        (
-                            record.result,
-                            record.seconds,
-                            record.cpu_seconds,
-                            record.worker,
-                        ) = _run_task(spec.fn, spec.args)
-                        record.status = DONE
-                    except Exception:
-                        record.status = FAILED
-                        record.error = traceback.format_exc()
+                    for attempt in range(1, policy.retries + 2):
+                        record.attempts = attempt
+                        faults.set_attempt(attempt)
+                        try:
+                            (
+                                record.result,
+                                record.seconds,
+                                record.cpu_seconds,
+                                record.worker,
+                            ) = _run_task(spec.fn, spec.args, name)
+                            record.status = DONE
+                            record.error = ""
+                            break
+                        except Exception:
+                            record.status = FAILED
+                            record.error = traceback.format_exc()
+                            if attempt > policy.retries:
+                                break
+                            delay = policy.delay(name, attempt)
+                            self._note_retry(
+                                log, name, attempt, policy, record.error, delay
+                            )
+                            time.sleep(delay)
+                    faults.set_attempt(1)
                 record.finished = time.perf_counter() - t0
                 finished_at[name] = record.finished
                 status[name] = record.status
                 records.append(record)
                 self._emit_task_event(spec, record)
+                if on_record is not None:
+                    on_record(record)
                 self._log(log, len(records), len(self._tasks), record)
+                if record.status == FAILED and not keep_going:
+                    halted = True
             if not progressed:  # unreachable after _validate; belt-and-braces
                 raise RuntimeError(f"no runnable task among {sorted(remaining)}")
         return records
 
-    def _run_pool(self, jobs: int, log) -> List[TaskRecord]:
-        """Multi-process execution; independent tasks run concurrently."""
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, jobs: int, log, policy: RetryPolicy, keep_going: bool,
+        resumed: Sequence[str], stop_event, on_record,
+    ) -> List[TaskRecord]:
+        """Supervised multi-process execution.
+
+        One process per task attempt: the supervisor multiplexes result
+        pipes, enforces per-attempt deadlines (terminating hung
+        workers), detects dead workers via pipe EOF, and schedules
+        retries from a backoff heap.
+        """
+        mp = multiprocessing.get_context()
         t0 = time.perf_counter()
+
+        def now() -> float:
+            return time.perf_counter() - t0
+
         status: Dict[str, str] = {}
-        records: List[TaskRecord] = []
+        records: List[TaskRecord] = list(self._resumed_records(resumed))
         pending = {name: len(spec.deps) for name, spec in self._tasks.items()}
         children: Dict[str, List[str]] = {name: [] for name in self._tasks}
         for spec in self._tasks.values():
             for dep in spec.deps:
                 children[dep].append(spec.name)
+
+        ready_at: Dict[str, float] = {}
+        attempts: Dict[str, int] = {}
+        deaths: Dict[str, int] = {}
+        timed_out: Dict[str, int] = {}
+        retry_heap: List[Tuple[float, str]] = []  # (due offset, task)
+        running: Dict[Any, dict] = {}  # conn -> {name, proc, started, deadline}
+        halted = False
+
+        def decide(record: TaskRecord) -> List[TaskRecord]:
+            """Commit one task's final record and resolve its children."""
+            nonlocal halted
+            status[record.name] = record.status
+            records.append(record)
+            self._emit_task_event(self._tasks[record.name], record)
+            if on_record is not None:
+                on_record(record)
+            self._log(log, len(records), len(self._tasks), record)
+            if record.status == FAILED and not keep_going:
+                halted = True
+            return settle(record.name)
 
         def settle(name: str) -> List[TaskRecord]:
             """Resolve tasks whose dependencies are all decided; returns
@@ -250,60 +491,195 @@ class TaskGraph:
             skipped: List[TaskRecord] = []
             for child in children[name]:
                 pending[child] -= 1
-                if pending[child] != 0:
+                # Already-decided children (journal-satisfied resumed tasks)
+                # only consume the edge; re-queueing them would double-settle
+                # their own children.
+                if pending[child] != 0 or child in status:
                     continue
                 spec = self._tasks[child]
-                now = time.perf_counter() - t0
-                ready_at[child] = now
+                ready_at[child] = now()
                 if any(status[dep] != DONE for dep in spec.deps):
                     record = self._record_for(spec)
                     record.status = SKIPPED
                     record.error = "dependency failed"
-                    record.ready = now
-                    record.started = record.finished = now
+                    record.ready = ready_at[child]
+                    record.started = record.finished = record.ready
                     status[child] = SKIPPED
                     records.append(record)
                     self._emit_task_event(spec, record)
+                    if on_record is not None:
+                        on_record(record)
                     skipped.append(record)
                     skipped.extend(settle(child))
                 else:
                     ready.append(child)
             return skipped
 
+        def launch(name: str) -> None:
+            spec = self._tasks[name]
+            attempt = attempts.get(name, 0) + 1
+            attempts[name] = attempt
+            parent_conn, child_conn = mp.Pipe(duplex=False)
+            proc = mp.Process(
+                target=_worker_entry,
+                args=(child_conn, spec.name, spec.fn, spec.args, attempt),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            started = now()
+            running[parent_conn] = {
+                "name": name,
+                "proc": proc,
+                "started": started,
+                "deadline": (
+                    started + policy.timeout if policy.timeout is not None else None
+                ),
+            }
+
+        def finish_record(info: dict) -> TaskRecord:
+            name = info["name"]
+            spec = self._tasks[name]
+            record = self._record_for(spec)
+            record.ready = ready_at.get(name, 0.0)
+            record.started = info["started"]
+            record.finished = now()
+            record.attempts = attempts.get(name, 0)
+            record.worker_deaths = deaths.get(name, 0)
+            record.timeouts = timed_out.get(name, 0)
+            return record
+
+        def handle_failure(info: dict, error: str, reason: str) -> List[TaskRecord]:
+            """Retry the attempt if the policy allows, else fail the task."""
+            name = info["name"]
+            attempt = attempts[name]
+            draining = halted or (stop_event is not None and stop_event.is_set())
+            if attempt <= policy.retries and not draining:
+                delay = policy.delay(name, attempt)
+                heapq.heappush(retry_heap, (now() + delay, name))
+                self._note_retry(log, name, attempt, policy, reason, delay)
+                return []
+            record = finish_record(info)
+            record.status = FAILED
+            record.error = error
+            return decide(record)
+
         ready: List[str] = [name for name, count in pending.items() if count == 0]
-        ready_at: Dict[str, float] = {name: 0.0 for name in ready}
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures: Dict[Any, Tuple[str, float]] = {}
-            while ready or futures:
-                while ready:
-                    name = ready.pop(0)
-                    spec = self._tasks[name]
-                    started = time.perf_counter() - t0
-                    future = pool.submit(_run_task, spec.fn, spec.args)
-                    futures[future] = (name, started)
-                finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-                for future in finished:
-                    name, started = futures.pop(future)
-                    spec = self._tasks[name]
-                    record = self._record_for(spec)
-                    record.ready = ready_at.get(name, 0.0)
-                    record.started = started
+        for name in ready:
+            ready_at[name] = 0.0
+        # Journal-satisfied tasks decide immediately and release children.
+        for record in records:
+            status[record.name] = DONE
+            if record.name in ready:
+                ready.remove(record.name)
+            self._log(log, len(records), len(self._tasks), record)
+        for record in list(records):
+            settle(record.name)
+
+        try:
+            while ready or running or retry_heap:
+                draining = halted or (
+                    stop_event is not None and stop_event.is_set()
+                )
+                if draining and not running:
+                    break
+                if not draining:
+                    while retry_heap and retry_heap[0][0] <= now():
+                        _, name = heapq.heappop(retry_heap)
+                        ready.insert(0, name)
+                    while ready and len(running) < jobs:
+                        launch(ready.pop(0))
+                if not running:
+                    if retry_heap:
+                        time.sleep(
+                            min(_POLL_SECONDS, max(0.0, retry_heap[0][0] - now()))
+                        )
+                    continue
+                wait_for = _POLL_SECONDS
+                for info in running.values():
+                    if info["deadline"] is not None:
+                        wait_for = min(wait_for, max(0.0, info["deadline"] - now()))
+                if retry_heap and not draining:
+                    wait_for = min(wait_for, max(0.0, retry_heap[0][0] - now()))
+                for conn in _connection_wait(list(running), timeout=wait_for):
+                    info = running.pop(conn)
+                    name = info["name"]
+                    proc = info["proc"]
                     try:
+                        outcome, payload = conn.recv()
+                    except (EOFError, OSError):
+                        outcome, payload = "died", None
+                    finally:
+                        conn.close()
+                    proc.join(timeout=5.0)
+                    if outcome == "ok":
+                        record = finish_record(info)
                         (
                             record.result,
                             record.seconds,
                             record.cpu_seconds,
                             record.worker,
-                        ) = future.result()
+                        ) = payload
                         record.status = DONE
-                    except Exception:
-                        record.status = FAILED
-                        record.error = traceback.format_exc()
-                    record.finished = time.perf_counter() - t0
-                    status[name] = record.status
-                    records.append(record)
-                    self._emit_task_event(spec, record)
-                    self._log(log, len(records), len(self._tasks), record)
-                    for skipped in settle(name):
-                        self._log(log, len(records), len(self._tasks), skipped)
+                        decide(record)
+                    elif outcome == "error":
+                        handle_failure(info, payload, payload)
+                    else:
+                        deaths[name] = deaths.get(name, 0) + 1
+                        obs.add("scheduler.worker_deaths")
+                        died = WorkerDied(name, attempts[name], proc.exitcode)
+                        obs.event(
+                            "worker_died", task=name, attempt=attempts[name],
+                            exitcode=proc.exitcode,
+                        )
+                        handle_failure(info, f"{type(died).__name__}: {died}", str(died))
+                # Deadline sweep: terminate and reclaim hung workers.
+                for conn, info in list(running.items()):
+                    if info["deadline"] is None or now() <= info["deadline"]:
+                        continue
+                    del running[conn]
+                    name = info["name"]
+                    info["proc"].terminate()
+                    info["proc"].join(timeout=5.0)
+                    conn.close()
+                    timed_out[name] = timed_out.get(name, 0) + 1
+                    obs.add("scheduler.timeouts")
+                    timeout_error = TaskTimeout(name, attempts[name], policy.timeout)
+                    obs.event(
+                        "task_timeout", task=name, attempt=attempts[name],
+                        timeout=policy.timeout,
+                    )
+                    handle_failure(
+                        info, f"{type(timeout_error).__name__}: {timeout_error}",
+                        str(timeout_error),
+                    )
+        finally:
+            # Belt-and-braces: no worker outlives the supervisor.
+            for info in running.values():
+                info["proc"].terminate()
+            for info in running.values():
+                info["proc"].join(timeout=5.0)
+
+        # Whatever was never decided — queued behind the stop, waiting on
+        # a retry that will not happen, or downstream of it all — is
+        # cancelled, recorded, and journaled so a resume can pick it up.
+        interrupted = stop_event is not None and stop_event.is_set()
+        reason = "interrupted" if interrupted else "aborted after failure"
+        for name, spec in self._tasks.items():
+            if name in status:
+                continue
+            record = self._record_for(spec)
+            record.status = CANCELLED
+            record.error = reason
+            record.ready = ready_at.get(name, now())
+            record.started = record.finished = now()
+            record.attempts = attempts.get(name, 0)
+            record.worker_deaths = deaths.get(name, 0)
+            record.timeouts = timed_out.get(name, 0)
+            status[name] = CANCELLED
+            records.append(record)
+            self._emit_task_event(spec, record)
+            if on_record is not None:
+                on_record(record)
+            self._log(log, len(records), len(self._tasks), record)
         return records

@@ -22,9 +22,25 @@ Layout::
 
 Each ``.npz`` bundles the artifact's numpy arrays with a ``__meta__``
 JSON document (the non-array fields, encoded with the codecs in
-:mod:`repro.core.serialization` where one exists).  Writes go through a
-temp file + ``os.replace`` so concurrent workers racing on the same key
-settle on one complete file.
+:mod:`repro.core.serialization` where one exists).
+
+Crash safety and corruption handling (the store's failure model, see
+DESIGN.md):
+
+* **Atomic commits.**  Writes land in a temp file that is fsynced and
+  then ``os.replace``\\ d into place, so a crash — or an injected
+  ``fail_write`` fault — can never leave a partial file under a
+  committed name, and concurrent workers racing on one key settle on
+  one complete file.
+* **Checksum footer.**  Every committed file ends with a fixed-size
+  footer carrying the SHA-256 of the payload bytes.  The read path
+  verifies it before ``np.load`` ever parses the data; any truncation
+  or bit flip raises :class:`CorruptArtifact`.
+* **Quarantine, not crash.**  A corrupt or undecodable file is *moved*
+  to ``<root>/quarantine/<kind>/`` (preserving the evidence), counted
+  in the ``corrupt`` statistics, and reported as a cache miss so the
+  caller rebuilds the artifact.  :meth:`ArtifactStore.verify` scans the
+  whole store the same way (``repro cache verify``).
 
 Results that reference a :class:`~repro.profiling.trace.Trace` (trace
 linkage is needed for warm-up views and per-PC aggregation) are stored
@@ -36,6 +52,7 @@ experiment context's own (cached) trace lookup.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import io
 import json
 import os
@@ -43,11 +60,12 @@ import pathlib
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
+from . import faults
 from ..branchnet.cnn import BranchNetModel, CnnConfig
 from ..branchnet.trainer import BranchNetResult
 from ..bpu.runner import PredictionResult
@@ -63,6 +81,55 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default cache directory used by the CLI when none is given.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory corrupt files are moved into (never read back as cache).
+QUARANTINE_DIR = "quarantine"
+
+#: Checksum footer: magic + hex SHA-256 of the payload bytes, appended
+#: to every committed artifact file.  Fixed size, so the read path can
+#: split payload from footer without parsing anything.
+FOOTER_MAGIC = b"RPROSUM1"
+FOOTER_SIZE = len(FOOTER_MAGIC) + 64
+
+
+class CorruptArtifact(RuntimeError):
+    """A stored artifact failed its integrity check.
+
+    Raised by the verified read path on truncation, bit flips, a missing
+    or mismatching checksum footer, or an undecodable payload.  The
+    store's :meth:`ArtifactStore.get` converts it into a quarantine plus
+    a cache miss; it never propagates to experiment code.
+    """
+
+    def __init__(self, path: os.PathLike, reason: str) -> None:
+        self.path = pathlib.Path(path)
+        self.reason = reason
+        super().__init__(f"corrupt artifact {self.path}: {reason}")
+
+
+def seal_payload(payload: bytes) -> bytes:
+    """Append the checksum footer to raw npz bytes."""
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return payload + FOOTER_MAGIC + digest
+
+
+def unseal_payload(blob: bytes, path: os.PathLike) -> bytes:
+    """Split and verify a sealed file's bytes; the payload on success.
+
+    Raises :class:`CorruptArtifact` on any mismatch — this is the single
+    integrity gate for both :meth:`ArtifactStore.get` and
+    :meth:`ArtifactStore.verify`.
+    """
+    if len(blob) <= FOOTER_SIZE:
+        raise CorruptArtifact(path, f"truncated ({len(blob)} bytes)")
+    payload, footer = blob[:-FOOTER_SIZE], blob[-FOOTER_SIZE:]
+    if not footer.startswith(FOOTER_MAGIC):
+        raise CorruptArtifact(path, "missing checksum footer")
+    expected = footer[len(FOOTER_MAGIC):]
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != expected:
+        raise CorruptArtifact(path, "checksum mismatch")
+    return payload
 
 #: ``(app, input_id, n_events) -> Trace`` — how decoded artifacts get
 #: their trace linkage back.
@@ -271,13 +338,20 @@ _CODECS: Dict[str, Any] = {
 # ----------------------------------------------------------------------
 @dataclass
 class KindStats:
-    """Hit/miss/put counters for one artifact kind."""
+    """Hit/miss/put/corrupt counters for one artifact kind."""
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Files that failed the integrity check and were quarantined.
+    corrupt: int = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
 
 
 @dataclass
@@ -301,11 +375,16 @@ class CacheStats:
     def puts(self) -> int:
         return sum(k.puts for k in self.kinds.values())
 
+    @property
+    def corrupt(self) -> int:
+        return sum(k.corrupt for k in self.kinds.values())
+
     def as_dict(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "corrupt": self.corrupt,
             "kinds": {kind: stats.as_dict() for kind, stats in sorted(self.kinds.items())},
         }
 
@@ -316,6 +395,7 @@ class CacheStats:
             mine.hits += int(stats.get("hits", 0))
             mine.misses += int(stats.get("misses", 0))
             mine.puts += int(stats.get("puts", 0))
+            mine.corrupt += int(stats.get("corrupt", 0))
 
 
 # ----------------------------------------------------------------------
@@ -352,11 +432,50 @@ class ArtifactStore:
     def has(self, kind: str, key: str) -> bool:
         return self._path(kind, key).exists()
 
+    def read_verified(self, kind: str, key: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Load one artifact's (meta, arrays) through the integrity gate.
+
+        Raises :class:`FileNotFoundError` when absent and
+        :class:`CorruptArtifact` when the footer, checksum, or npz
+        structure does not verify — never silently wrong data.
+        """
+        path = self._path(kind, key)
+        payload = unseal_payload(path.read_bytes(), path)
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"][()]))
+                arrays = {name: data[name] for name in data.files if name != "__meta__"}
+        except Exception as error:
+            # Checksummed bytes that still fail to parse mean the file
+            # was corrupt when written (e.g. an injected post-seal
+            # corruption or a foreign file) — same quarantine treatment.
+            raise CorruptArtifact(path, f"undecodable payload: {error}") from error
+        return meta, arrays
+
+    def quarantine(self, kind: str, key: str, reason: str = "") -> Optional[pathlib.Path]:
+        """Move a bad file out of the committed namespace; its new path.
+
+        Quarantined files keep the evidence for post-mortems but can
+        never be served again — the committed name is free for the
+        rebuild's re-put.
+        """
+        path = self._path(kind, key)
+        destination = self.root / QUARANTINE_DIR / kind / path.name
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, destination)
+        except OSError:
+            return None
+        self.stats._kind(kind).corrupt += 1
+        obs.add("cache.quarantined")
+        obs.event("quarantine", kind=kind, key=key, reason=reason)
+        return destination
+
     def get(self, kind: str, key: str, **decode_ctx: Any) -> Optional[Any]:
         """Fetch and decode one artifact; None (a recorded miss) if absent.
 
-        A corrupt or undecodable file counts as a miss and is removed so
-        the caller's rebuild can replace it.
+        A corrupt or undecodable file counts as a miss and is moved to
+        quarantine so the caller's rebuild can replace it.
         """
         path = self._path(kind, key)
         stats = self.stats._kind(kind)
@@ -365,17 +484,24 @@ class ArtifactStore:
             self._observe(kind, key, "miss")
             return None
         try:
-            with np.load(path, allow_pickle=False) as data:
-                meta = json.loads(str(data["__meta__"][()]))
-                arrays = {name: data[name] for name in data.files if name != "__meta__"}
+            meta, arrays = self.read_verified(kind, key)
             decoded = _CODECS[kind].decode(meta, arrays, decode_ctx)
-        except Exception:
+        except FileNotFoundError:
+            stats.misses += 1
+            self._observe(kind, key, "miss")
+            return None
+        except CorruptArtifact as error:
             stats.misses += 1
             self._observe(kind, key, "corrupt")
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.quarantine(kind, key, reason=error.reason)
+            return None
+        except Exception as error:
+            # The bytes verified but the codec rejected them (e.g. a
+            # schema drift that escaped the key fingerprint): corrupt
+            # for our purposes.
+            stats.misses += 1
+            self._observe(kind, key, "corrupt")
+            self.quarantine(kind, key, reason=f"decode failed: {error}")
             return None
         stats.hits += 1
         self._observe(kind, key, "hit")
@@ -392,16 +518,34 @@ class ArtifactStore:
         obs.event("cache", kind=kind, key=key, outcome=outcome)
 
     def put(self, kind: str, key: str, obj: Any) -> pathlib.Path:
-        """Encode and atomically persist one artifact."""
+        """Encode and atomically persist one artifact (sealed + fsynced).
+
+        The commit protocol — encode fully in memory, write to a temp
+        file, fsync, ``os.replace`` — guarantees a committed name never
+        points at a partial file, even across crashes.  Injected
+        ``fail_write`` faults abort before the rename (the temp file is
+        removed); injected ``corrupt_artifact`` faults damage the bytes
+        *after* sealing, committing a file the read path must catch.
+        """
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta, arrays = _CODECS[kind].encode(obj)
         buffer = io.BytesIO()
         np.savez_compressed(buffer, __meta__=np.array(json.dumps(meta)), **arrays)
+        blob = seal_payload(buffer.getvalue())
+        injector = faults.active()
+        if injector is not None:
+            blob = injector.corrupt_bytes(f"{kind}/{key}", blob)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(buffer.getvalue())
+                handle.write(blob)
+                if injector is not None:
+                    # Fire after bytes hit the temp file so the failure
+                    # models a torn write, not a no-op.
+                    injector.on_store_write(f"{kind}/{key}")
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -447,6 +591,41 @@ class ArtifactStore:
             if stats_path.exists():
                 stats_path.unlink()
         return removed
+
+    def verify(self, quarantine_bad: bool = True) -> Dict[str, Any]:
+        """Integrity-scan every committed artifact (``repro cache verify``).
+
+        Checks each file's checksum footer through the same gate the
+        read path uses and, by default, quarantines whatever fails.
+        Returns ``{"scanned", "ok", "corrupt": [relative paths],
+        "quarantined": [relative paths]}`` — after a clean pass,
+        ``corrupt`` is empty, which is the chaos suite's invariant that
+        no injected fault leaves a bad committed artifact behind.
+        """
+        scanned = 0
+        corrupt: List[str] = []
+        quarantined: List[str] = []
+        for kind in self.KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.npz")):
+                scanned += 1
+                try:
+                    unseal_payload(path.read_bytes(), path)
+                except (CorruptArtifact, OSError):
+                    relative = f"{kind}/{path.name}"
+                    corrupt.append(relative)
+                    if quarantine_bad and self.quarantine(
+                        kind, path.stem, reason="verify scan"
+                    ):
+                        quarantined.append(relative)
+        return {
+            "scanned": scanned,
+            "ok": scanned - len(corrupt),
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+        }
 
     # ------------------------------------------------------------------
     def persist_stats(self, extra: Optional[dict] = None) -> dict:

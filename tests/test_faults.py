@@ -1,0 +1,456 @@
+"""Fault-injection layer: spec parsing, deterministic triggers, and the
+store/scheduler failure paths the chaos suite relies on.
+
+These tests drive each injection site in isolation (the end-to-end
+``run-all`` chaos scenarios live in ``test_chaos_runall.py``): the
+``REPRO_FAULTS`` grammar, occurrence/probability/once gating, checksum
+sealing, quarantine-on-read, atomic writes under ``fail_write``, typed
+``WorkerDied``/``TaskTimeout`` errors, and retry/backoff bookkeeping.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.orchestrator import faults
+from repro.orchestrator.faults import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    parse_spec,
+)
+from repro.orchestrator.journal import (
+    RunJournal,
+    journal_path,
+    list_runs,
+    load_journal,
+)
+from repro.orchestrator.scheduler import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    RetryPolicy,
+    TaskGraph,
+    TaskRecord,
+    TaskTimeout,
+    WorkerDied,
+)
+from repro.orchestrator.store import (
+    ArtifactStore,
+    CorruptArtifact,
+    seal_payload,
+    unseal_payload,
+)
+from repro.sim.simulator import SimResult
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env(monkeypatch):
+    """Each test starts with no fault plan and a fresh injector cache."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    faults.reset()
+    faults.set_attempt(1)
+    yield
+    faults.reset()
+    faults.set_attempt(1)
+
+
+def _timing_result(app="mysql"):
+    """Cheapest real artifact: a SimResult for the timing codec."""
+    return SimResult(
+        app=app, config_name="test", instructions=1000, hint_instructions=0,
+        cycles=1500.0, base_cycles=1000.0, squash_cycles=300.0,
+        icache_stall_cycles=120.0, btb_stall_cycles=80.0,
+        icache_misses=10, icache_misses_covered=4, mispredictions=25,
+    )
+
+
+class TestSpecParsing:
+    def test_all_sites_and_options(self):
+        rules = parse_spec(
+            "crash_task:match=baseline:*,nth=2;"
+            "hang_task:delay=0.5,attempts=2;"
+            "corrupt_artifact:p=0.25,seed=7,once=1;"
+            "fail_write"
+        )
+        assert [r.site for r in rules] == [
+            "crash_task", "hang_task", "corrupt_artifact", "fail_write",
+        ]
+        crash, hang, corrupt, fail = rules
+        assert crash.match == "baseline:*" and crash.nth == 2
+        assert hang.delay == 0.5 and hang.attempts == 2
+        assert corrupt.p == 0.25 and corrupt.seed == 7 and corrupt.once
+        assert fail.match == "*" and fail.nth is None and fail.p is None
+
+    def test_defaults(self):
+        (rule,) = parse_spec("crash_task")
+        assert rule == FaultRule(site="crash_task")
+        assert rule.match == "*" and rule.attempts == 1 and not rule.once
+
+    def test_empty_and_whitespace_chunks_skipped(self):
+        assert parse_spec("") == ()
+        assert parse_spec(" ; ; ") == ()
+        assert len(parse_spec("crash_task; ;fail_write")) == 2
+
+    def test_describe_reparses_to_same_rule(self):
+        for spec in (
+            "crash_task:match=baseline:*,nth=2",
+            "corrupt_artifact:p=0.5,seed=3,once=1",
+            "fail_write:attempts=3",
+        ):
+            (rule,) = parse_spec(spec)
+            (reparsed,) = parse_spec(rule.describe())
+            assert reparsed == rule
+
+    @pytest.mark.parametrize("bad", [
+        "explode_task",                    # unknown site
+        "crash_task:nth",                  # option without '='
+        "crash_task:nth=soon",             # non-integer
+        "hang_task:delay=never",           # non-float
+        "crash_task:verbosity=9",          # unknown option
+        "corrupt_artifact:p=1.5",          # probability out of range
+        "corrupt_artifact:p=-0.1",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+
+class TestInjectorTriggers:
+    def test_nth_fires_exactly_once_on_nth_occurrence(self):
+        injector = FaultInjector(parse_spec("crash_task:nth=3"))
+        fired = [injector.check("crash_task", "t") is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+
+    def test_match_glob_filters_names(self):
+        injector = FaultInjector(parse_spec("crash_task:match=baseline:*"))
+        assert injector.check("crash_task", "trace:mysql") is None
+        assert injector.check("crash_task", "baseline:mysql") is not None
+
+    def test_site_mismatch_never_fires(self):
+        injector = FaultInjector(parse_spec("fail_write"))
+        assert injector.check("crash_task", "anything") is None
+
+    def test_probability_is_deterministic_across_instances(self):
+        spec = "crash_task:p=0.5,seed=11"
+        names = [f"task{i}" for i in range(20)]
+        first = [
+            FaultInjector(parse_spec(spec)) for _ in range(2)
+        ]
+        outcomes = [
+            [inj.check("crash_task", name) is not None for name in names]
+            for inj in first
+        ]
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_probability_seed_changes_plan(self):
+        names = [f"task{i}" for i in range(40)]
+        plans = []
+        for seed in (1, 2):
+            injector = FaultInjector(parse_spec(f"crash_task:p=0.5,seed={seed}"))
+            plans.append(
+                tuple(injector.check("crash_task", n) is not None for n in names)
+            )
+        assert plans[0] != plans[1]
+
+    def test_attempt_gating_defaults_to_first_attempt(self):
+        injector = FaultInjector(parse_spec("crash_task"))
+        faults.set_attempt(2)
+        assert injector.check("crash_task", "t") is None
+        faults.set_attempt(1)
+        assert injector.check("crash_task", "t") is not None
+
+    def test_once_latches_within_process(self):
+        injector = FaultInjector(parse_spec("crash_task:once=1"))
+        assert injector.check("crash_task", "a") is not None
+        assert injector.check("crash_task", "b") is None
+
+    def test_once_latches_across_injectors_via_state_dir(self, tmp_path):
+        state = str(tmp_path / "state")
+        first = FaultInjector(parse_spec("crash_task:once=1"), state_dir=state)
+        assert first.check("crash_task", "a") is not None
+        # A different process would build its own injector; the marker
+        # file is what stops the rule from firing again.
+        second = FaultInjector(parse_spec("crash_task:once=1"), state_dir=state)
+        assert second.check("crash_task", "a") is None
+        assert os.listdir(state)
+
+    def test_active_follows_env_value(self, monkeypatch):
+        assert faults.active() is None
+        monkeypatch.setenv(faults.FAULTS_ENV, "fail_write")
+        injector = faults.active()
+        assert injector is not None
+        assert faults.active() is injector  # cached per env value
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash_task")
+        assert faults.active() is not injector
+        monkeypatch.setenv(faults.FAULTS_ENV, "")
+        assert faults.active() is None
+
+
+class TestSiteHelpers:
+    def test_crash_task_raises_inline(self):
+        injector = FaultInjector(parse_spec("crash_task"))
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.on_task_start("baseline:mysql")
+        assert excinfo.value.site == "crash_task"
+        assert excinfo.value.name == "baseline:mysql"
+
+    def test_hang_task_sleeps_for_delay(self):
+        injector = FaultInjector(parse_spec("hang_task:delay=0.1"))
+        t0 = time.perf_counter()
+        injector.on_task_start("t")
+        assert time.perf_counter() - t0 >= 0.1
+
+    def test_fail_write_raises(self):
+        injector = FaultInjector(parse_spec("fail_write:match=timing/*"))
+        injector.on_store_write("trace/abc")  # no match, no fault
+        with pytest.raises(InjectedFault):
+            injector.on_store_write("timing/abc")
+
+    def test_corrupt_bytes_flips_one_byte_deterministically(self):
+        payload = bytes(range(256)) * 4
+        damaged = FaultInjector(parse_spec("corrupt_artifact")).corrupt_bytes(
+            "timing/abc", payload
+        )
+        again = FaultInjector(parse_spec("corrupt_artifact")).corrupt_bytes(
+            "timing/abc", payload
+        )
+        assert damaged == again
+        assert damaged != payload
+        diffs = [i for i, (a, b) in enumerate(zip(payload, damaged)) if a != b]
+        assert len(diffs) == 1
+
+    def test_corrupt_bytes_passthrough_without_match(self):
+        injector = FaultInjector(parse_spec("corrupt_artifact:match=trace/*"))
+        payload = b"payload"
+        assert injector.corrupt_bytes("timing/abc", payload) == payload
+
+
+class TestSealing:
+    def test_round_trip(self, tmp_path):
+        payload = b"x" * 500
+        assert unseal_payload(seal_payload(payload), tmp_path / "f") == payload
+
+    def test_truncation_detected(self, tmp_path):
+        blob = seal_payload(b"x" * 500)
+        with pytest.raises(CorruptArtifact, match="truncated|checksum"):
+            unseal_payload(blob[:-10], tmp_path / "f")
+
+    def test_bit_flip_detected(self, tmp_path):
+        blob = bytearray(seal_payload(b"x" * 500))
+        blob[100] ^= 0x01
+        with pytest.raises(CorruptArtifact, match="checksum mismatch"):
+            unseal_payload(bytes(blob), tmp_path / "f")
+
+    def test_missing_footer_detected(self, tmp_path):
+        with pytest.raises(CorruptArtifact, match="missing checksum footer"):
+            unseal_payload(b"n" * 500, tmp_path / "f")
+
+
+class TestStoreFailurePaths:
+    KEY = "a" * 32
+
+    def test_fail_write_commits_nothing(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        monkeypatch.setenv(faults.FAULTS_ENV, "fail_write:match=timing/*")
+        with pytest.raises(InjectedFault):
+            store.put("timing", self.KEY, _timing_result())
+        assert not store.has("timing", self.KEY)
+        # No temp litter either: the directory holds nothing.
+        assert list((tmp_path / "timing").glob("*")) == []
+        # The write never counted as a put.
+        assert store.stats.puts == 0
+
+    def test_fail_write_recovers_on_retry(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        monkeypatch.setenv(faults.FAULTS_ENV, "fail_write:nth=1")
+        with pytest.raises(InjectedFault):
+            store.put("timing", self.KEY, _timing_result())
+        store.put("timing", self.KEY, _timing_result())  # second occurrence
+        assert store.get("timing", self.KEY) == _timing_result()
+
+    def test_corrupt_artifact_quarantined_on_read(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        monkeypatch.setenv(faults.FAULTS_ENV, "corrupt_artifact")
+        store.put("timing", self.KEY, _timing_result())
+        monkeypatch.setenv(faults.FAULTS_ENV, "")
+        assert store.get("timing", self.KEY) is None  # miss, not garbage
+        assert not store.has("timing", self.KEY)
+        quarantined = list((tmp_path / "quarantine" / "timing").glob("*.npz"))
+        assert len(quarantined) == 1
+        assert store.stats.kinds["timing"].corrupt == 1
+        # The committed name is free again: a rebuild re-puts cleanly.
+        store.put("timing", self.KEY, _timing_result())
+        assert store.get("timing", self.KEY) == _timing_result()
+
+    def test_verify_scan_quarantines_corrupt_files(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        store.put("timing", "b" * 32, _timing_result())
+        monkeypatch.setenv(faults.FAULTS_ENV, "corrupt_artifact:match=timing/a*")
+        store.put("timing", self.KEY, _timing_result("clang"))
+        monkeypatch.setenv(faults.FAULTS_ENV, "")
+        report = store.verify()
+        assert report["scanned"] == 2 and report["ok"] == 1
+        assert report["corrupt"] == [f"timing/{self.KEY}.npz"]
+        assert report["quarantined"] == report["corrupt"]
+        # Second scan is clean: quarantine removed the bad file.
+        clean = store.verify()
+        assert clean["scanned"] == 1 and clean["corrupt"] == []
+
+    def test_verify_can_leave_files_in_place(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("timing", self.KEY, _timing_result())
+        victim = tmp_path / "timing" / f"{self.KEY}.npz"
+        victim.write_bytes(b"garbage")
+        report = store.verify(quarantine_bad=False)
+        assert report["corrupt"] and report["quarantined"] == []
+        assert victim.exists()
+
+
+# Module-level task bodies so the process pool can pickle them.
+def _ok():
+    return "ok"
+
+
+def _named_task(tag):
+    return tag
+
+
+class TestSchedulerFailures:
+    def test_worker_death_is_typed_and_counted(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash_task:attempts=99")
+        graph = TaskGraph()
+        graph.add("victim", _ok)
+        (record,) = graph.run(jobs=2, policy=RetryPolicy(retries=1, backoff=0.01))
+        assert record.status == FAILED
+        assert "WorkerDied" in record.error
+        assert f"exit code {CRASH_EXIT_CODE}" in record.error
+        assert record.attempts == 2
+        assert record.worker_deaths == 2
+
+    def test_retry_recovers_from_first_attempt_crash(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash_task")  # attempts=1 default
+        graph = TaskGraph()
+        graph.add("victim", _ok)
+        (record,) = graph.run(jobs=2, policy=RetryPolicy(retries=1, backoff=0.01))
+        assert record.status == DONE
+        assert record.result == "ok"
+        assert record.attempts == 2
+        assert record.worker_deaths == 1
+
+    def test_timeout_reclaims_hung_worker(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "hang_task:delay=60,attempts=99")
+        graph = TaskGraph()
+        graph.add("hung", _ok)
+        t0 = time.perf_counter()
+        (record,) = graph.run(
+            jobs=2, policy=RetryPolicy(retries=0, timeout=0.5, backoff=0.01)
+        )
+        assert time.perf_counter() - t0 < 30  # terminated, not waited out
+        assert record.status == FAILED
+        assert "TaskTimeout" in record.error
+        assert record.timeouts == 1
+
+    def test_timeout_then_retry_succeeds(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "hang_task:delay=60")
+        graph = TaskGraph()
+        graph.add("hung", _ok)
+        (record,) = graph.run(
+            jobs=2, policy=RetryPolicy(retries=1, timeout=0.5, backoff=0.01)
+        )
+        assert record.status == DONE and record.attempts == 2
+        assert record.timeouts == 1
+
+    def test_inline_crash_raises_injected_fault_and_retries(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash_task")
+        graph = TaskGraph()
+        graph.add("victim", _ok)
+        (record,) = graph.run(jobs=1, policy=RetryPolicy(retries=1, backoff=0.0))
+        assert record.status == DONE and record.attempts == 2
+
+    def test_worker_died_and_timeout_messages(self):
+        died = WorkerDied("baseline:mysql", attempt=2, exitcode=-9)
+        assert died.task == "baseline:mysql"
+        assert died.attempt == 2 and died.exitcode == -9
+        assert "baseline:mysql" in str(died) and "attempt 2" in str(died)
+        hung = TaskTimeout("trace:clang", attempt=1, timeout=5.0)
+        assert hung.task == "trace:clang" and hung.timeout == 5.0
+        assert "trace:clang" in str(hung)
+
+    def test_backoff_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            retries=5, backoff=0.1, backoff_factor=2.0, max_backoff=0.5, jitter=0.0
+        )
+        delays = [policy.delay("t", attempt) for attempt in range(1, 6)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.1)
+        assert all(d <= 0.5 for d in delays)
+        # Deterministic: same task/attempt, same delay.
+        assert policy.delay("t", 3) == policy.delay("t", 3)
+
+    def test_backoff_jitter_is_deterministic_per_task(self):
+        policy = RetryPolicy(retries=3, backoff=0.2, jitter=0.5)
+        assert policy.delay("a", 1) == policy.delay("a", 1)
+        assert policy.delay("a", 1) != policy.delay("b", 1)
+
+
+class TestJournal:
+    def _record(self, name, status=DONE, attempts=1, error=""):
+        return TaskRecord(
+            name=name, status=status, seconds=0.5, attempts=attempts, error=error
+        )
+
+    def test_round_trip(self, tmp_path):
+        journal = RunJournal.start(tmp_path, "run1", {"figures": ["fig02"]})
+        journal.record_task(self._record("a"))
+        journal.record_task(self._record("b", status=FAILED, error="boom\nlast"))
+        journal.record_task(self._record("c", status=CANCELLED))
+        journal.finish(interrupted=True, failed=1, cancelled=1)
+        state = load_journal(tmp_path, "run1")
+        assert state.run_id == "run1"
+        assert state.params == {"figures": ["fig02"]}
+        assert state.completed == {"a"}
+        assert state.task_status == {"a": DONE, "b": FAILED, "c": CANCELLED}
+        assert state.ended and state.sessions == 1
+
+    def test_resume_marks_new_session_and_supersedes_status(self, tmp_path):
+        journal = RunJournal.start(tmp_path, "run1", {})
+        journal.record_task(self._record("a", status=FAILED, error="x"))
+        resumed = RunJournal.resume(tmp_path, "run1")
+        resumed.record_task(self._record("a"))  # retried to done this time
+        state = load_journal(tmp_path, "run1")
+        assert state.sessions == 2
+        assert state.completed == {"a"}
+        assert not state.ended
+
+    def test_resumed_records_not_rejournaled(self, tmp_path):
+        journal = RunJournal.start(tmp_path, "run1", {})
+        record = self._record("a")
+        record.resumed = True
+        journal.record_task(record)
+        assert load_journal(tmp_path, "run1").task_status == {}
+
+    def test_resume_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunJournal.resume(tmp_path, "ghost")
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        journal = RunJournal.start(tmp_path, "run1", {})
+        journal.record_task(self._record("a"))
+        path = journal_path(tmp_path, "run1")
+        with open(path, "a") as handle:
+            handle.write('{"type": "task", "name": "b", "sta')  # killed mid-append
+        state = load_journal(tmp_path, "run1")
+        assert state.completed == {"a"}
+
+    def test_list_runs_and_absent_journal(self, tmp_path):
+        assert list_runs(tmp_path) == []
+        assert load_journal(tmp_path, "nope") is None
+        RunJournal.start(tmp_path, "r1", {})
+        RunJournal.start(tmp_path, "r2", {})
+        assert set(list_runs(tmp_path)) == {"r1", "r2"}

@@ -16,7 +16,7 @@ from repro.orchestrator.metrics import (
     slowest_tasks,
     worker_utilisation,
 )
-from repro.orchestrator.scheduler import DONE, FAILED, SKIPPED, TaskGraph
+from repro.orchestrator.scheduler import CANCELLED, DONE, FAILED, SKIPPED, TaskGraph
 
 
 # Module-level so the process-pool path can pickle them by reference.
@@ -130,7 +130,7 @@ class TestManifest:
     def test_counts_and_summary(self):
         manifest = self._manifest()
         counts = manifest.counts()
-        assert counts == {DONE: 1, FAILED: 1, SKIPPED: 1}
+        assert counts == {DONE: 1, FAILED: 1, SKIPPED: 1, CANCELLED: 0}
         text = "\n".join(manifest.summary_lines())
         assert "1 done, 1 failed, 1 skipped" in text
         assert "3 hits / 1 misses (75% hit rate)" in text

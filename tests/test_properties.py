@@ -1,5 +1,7 @@
 """Cross-module property-based tests (hypothesis)."""
 
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -9,8 +11,15 @@ from repro.core.hints import BrHint, FORMULA_BITS, PC_BITS
 from repro.core.injection import HintPlacement
 from repro.core.search import FormulaSearch
 from repro.core.serialization import placement_from_dict, placement_to_dict
+from repro.orchestrator.store import (
+    ArtifactStore,
+    CorruptArtifact,
+    seal_payload,
+    unseal_payload,
+)
 from repro.profiling.pt import PacketDecoder, PacketEncoder, TntPacket
 from repro.analysis.reuse import ReuseDistanceTracker
+from repro.sim.simulator import SimResult
 
 counts_tables = st.dictionaries(
     st.integers(0, 255), st.integers(1, 50), min_size=0, max_size=40
@@ -112,3 +121,68 @@ class TestSerializationProperties:
                 placement.host_of_branch[pc] = block
         restored = placement_from_dict(placement_to_dict(placement))
         assert restored.placements == placement.placements
+
+
+sim_results = st.builds(
+    SimResult,
+    app=st.sampled_from(["mysql", "clang", "kafka"]),
+    config_name=st.text(min_size=1, max_size=12),
+    instructions=st.integers(0, 10**9),
+    hint_instructions=st.integers(0, 10**6),
+    cycles=st.floats(0, 1e12, allow_nan=False),
+    base_cycles=st.floats(0, 1e12, allow_nan=False),
+    squash_cycles=st.floats(0, 1e12, allow_nan=False),
+    icache_stall_cycles=st.floats(0, 1e12, allow_nan=False),
+    btb_stall_cycles=st.floats(0, 1e12, allow_nan=False),
+    icache_misses=st.integers(0, 10**9),
+    icache_misses_covered=st.integers(0, 10**9),
+    mispredictions=st.integers(0, 10**9),
+)
+
+
+class TestStoreIntegrityProperties:
+    """The store's failure-model contract: damaged bytes must raise
+    :class:`CorruptArtifact` (or read as a quarantined miss) — never
+    decode to silently wrong data."""
+
+    @given(st.binary(min_size=1, max_size=2048))
+    @settings(max_examples=60)
+    def test_seal_unseal_roundtrip(self, payload):
+        assert unseal_payload(seal_payload(payload), "mem") == payload
+
+    @given(st.binary(min_size=1, max_size=2048), st.data())
+    @settings(max_examples=60)
+    def test_any_truncation_detected(self, payload, data):
+        blob = seal_payload(payload)
+        cut = data.draw(st.integers(0, len(blob) - 1), label="cut")
+        with pytest.raises(CorruptArtifact):
+            unseal_payload(blob[:cut], "mem")
+
+    @given(st.binary(min_size=1, max_size=2048), st.data())
+    @settings(max_examples=60)
+    def test_any_bit_flip_detected(self, payload, data):
+        blob = bytearray(seal_payload(payload))
+        position = data.draw(st.integers(0, len(blob) - 1), label="byte")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        blob[position] ^= 1 << bit
+        with pytest.raises(CorruptArtifact):
+            unseal_payload(bytes(blob), "mem")
+
+    @given(sim_results, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_damaged_artifact_never_served(self, result, data):
+        key = "c" * 32
+        with tempfile.TemporaryDirectory() as root:
+            store = ArtifactStore(root)
+            path = store.put("timing", key, result)
+            blob = bytearray(path.read_bytes())
+            position = data.draw(st.integers(0, len(blob) - 1), label="byte")
+            bit = data.draw(st.integers(0, 7), label="bit")
+            blob[position] ^= 1 << bit
+            path.write_bytes(bytes(blob))
+            assert store.get("timing", key) is None  # miss, never wrong data
+            assert not path.exists()  # quarantined out of the namespace
+            assert store.stats.kinds["timing"].corrupt == 1
+            # The rebuild path is clear: a clean re-put round-trips.
+            store.put("timing", key, result)
+            assert store.get("timing", key) == result
