@@ -17,16 +17,30 @@ Commands
     Assemble EXPERIMENTS.md from saved benchmark results.
 ``run-all [--jobs N] [--figures a,b,...]``
     Regenerate the whole suite (or a subset) through the orchestrator:
-    per-app pipelines run in parallel across ``--jobs`` processes, and
-    every intermediate persists in the artifact cache, so repeat runs
-    are cache-hit dominated.  Writes a run manifest next to the figure
-    outputs.  Robustness: failed/crashed/hung tasks are retried
-    (``--retries``, ``--task-timeout``); ``--fail-fast`` aborts on the
-    first failure instead of completing independent figures; every run
-    is journaled under ``<results>/runs`` so ``--resume RUN_ID``
-    finishes an interrupted run (SIGINT/SIGTERM drain cleanly, exit
-    130).  ``REPRO_FAULTS`` injects deterministic faults for testing
-    (see ``repro.orchestrator.faults``).
+    per-app pipelines run in parallel across ``--jobs`` processes
+    (``--jobs 0`` = one per CPU core), and every intermediate persists
+    in the artifact cache, so repeat runs are cache-hit dominated.
+    Writes a run manifest next to the figure outputs.  Robustness:
+    failed/crashed/hung tasks are retried (``--retries``,
+    ``--task-timeout``); ``--fail-fast`` aborts on the first failure
+    instead of completing independent figures; every run is journaled
+    under ``<results>/runs`` so ``--resume RUN_ID`` finishes an
+    interrupted run (SIGINT/SIGTERM drain cleanly, exit 130).
+    ``REPRO_FAULTS`` injects deterministic faults for testing (see
+    ``repro.orchestrator.faults``).  ``--backend cluster
+    --coordinator HOST:PORT`` serves the same task graph to remote
+    ``repro cluster worker`` processes instead of a local pool.
+``cluster {serve,worker}``
+    The distributed backend (``repro.cluster``): ``serve`` binds the
+    coordinator and runs the suite across whatever workers connect;
+    ``worker`` connects to a coordinator and runs leased tasks in
+    ``--slots`` local subprocesses (``--slots 0`` = one per core)
+    against its own ``--cache-dir``, shipping artifacts back
+    checksum-verified.
+``runs list``
+    Enumerate the run journals under ``<results>/runs`` — run id,
+    status, task counts, sessions — and print the exact ``repro
+    run-all --resume`` invocation for any unfinished run.
 ``cache {stats,clear,verify}``
     Inspect or empty the on-disk artifact cache, or integrity-scan it:
     ``verify`` checks every artifact's checksum footer and quarantines
@@ -168,6 +182,9 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             keep_going=not args.fail_fast,
             run_id=args.run_id,
             resume=args.resume,
+            backend=args.backend,
+            coordinator=args.coordinator,
+            lease_seconds=args.lease_seconds,
         )
     except ValueError as error:
         print(error)
@@ -189,6 +206,67 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         if manifest.run_id:
             print(f"incomplete — resume with: repro run-all --resume {manifest.run_id}")
         return 1
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.mode == "worker":
+        from .cluster.worker import ClusterWorker
+
+        try:
+            worker = ClusterWorker(
+                coordinator=args.coordinator,
+                slots=args.slots,
+                cache_dir=args.cache_dir,
+                worker_id=args.worker_id,
+                log=print,
+            )
+        except ValueError as error:
+            print(error)
+            return 2
+        return worker.run()
+
+    # serve: bind the coordinator and drive the suite through it.  This
+    # is `run-all --backend cluster` with the bind address spelled
+    # --bind, so the two entry points share one code path and one
+    # output shape.
+    args.jobs = 1
+    args.no_cache = False
+    args.backend = "cluster"
+    args.coordinator = args.bind
+    return _cmd_run_all(args)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .orchestrator.journal import list_runs, load_journal
+    from .orchestrator.scheduler import DONE, FAILED
+
+    results = args.results
+    run_ids = list_runs(results)
+    if not run_ids:
+        print(f"no run journals under {pathlib.Path(results) / 'runs'}")
+        return 0
+    print(f"{len(run_ids)} run(s) under {pathlib.Path(results) / 'runs'}:")
+    for run_id in run_ids:
+        state = load_journal(results, run_id)
+        if state is None:
+            print(f"  {run_id}: unreadable journal")
+            continue
+        done = sum(1 for s in state.task_status.values() if s == DONE)
+        failed = sum(1 for s in state.task_status.values() if s == FAILED)
+        status = state.describe_status()
+        sessions = (
+            f", {state.sessions} sessions" if state.sessions > 1 else ""
+        )
+        line = (
+            f"  {run_id}: {status} — {done} done, {failed} failed{sessions}"
+        )
+        print(line)
+        if status != "complete":
+            print(
+                f"    resume with: repro run-all --resume {run_id} "
+                f"--results {results}"
+            )
     return 0
 
 
@@ -356,7 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run-all", help="regenerate the experiment suite via the orchestrator"
     )
     run_all.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = inline, 0 = one per CPU core)",
     )
     run_all.add_argument(
         "--figures", default=None,
@@ -403,7 +482,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="complete a previous run from its journal under "
         "<results>/runs/: finished tasks are skipped, the rest execute",
     )
+    run_all.add_argument(
+        "--backend", choices=("local", "cluster"), default="local",
+        help="where tasks execute: a local process pool, or remote "
+        "`repro cluster worker` processes leasing tasks over TCP",
+    )
+    run_all.add_argument(
+        "--coordinator", default=None, metavar="HOST:PORT",
+        help="cluster backend: the address this run binds its "
+        "coordinator on (workers connect here)",
+    )
+    run_all.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECONDS",
+        help="cluster backend: reassign a worker's tasks after this "
+        "much heartbeat silence (default: 15)",
+    )
     run_all.set_defaults(func=_cmd_run_all)
+
+    cluster = sub.add_parser(
+        "cluster", help="distributed run-all: coordinator and workers"
+    )
+    cluster_sub = cluster.add_subparsers(dest="mode", required=True)
+    serve = cluster_sub.add_parser(
+        "serve",
+        help="bind the coordinator and run the suite across connected "
+        "workers (shorthand for run-all --backend cluster)",
+    )
+    serve.add_argument(
+        "--bind", default="127.0.0.1:7781", metavar="HOST:PORT",
+        help="address to serve the task-lease protocol on",
+    )
+    serve.add_argument(
+        "--figures", default=None,
+        help="comma-separated subset, e.g. fig02,fig13 (default: everything)",
+    )
+    serve.add_argument("--events", type=int, default=None, help="trace length per app")
+    serve.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="the coordinator's artifact cache (the cluster's L1)",
+    )
+    serve.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory for figure texts, the run manifest, and run journals",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per task after a failure/crash/timeout",
+    )
+    serve.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline before a leased task is revoked and retried",
+    )
+    serve.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECONDS",
+        help="reassign a worker's tasks after this much heartbeat "
+        "silence (default: 15)",
+    )
+    serve.add_argument(
+        "--keep-going", dest="fail_fast", action="store_false", default=False,
+        help="on a task failure, still complete every independent "
+        "figure (the default)",
+    )
+    serve.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="abort on the first task failure",
+    )
+    serve.add_argument(
+        "--run-id", default=None,
+        help="journal id for this run (default: derived from time + pid)",
+    )
+    serve.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="complete a previous run from its journal",
+    )
+    serve.set_defaults(func=_cmd_cluster)
+    worker = cluster_sub.add_parser(
+        "worker", help="connect to a coordinator and run leased tasks"
+    )
+    worker.add_argument(
+        "--coordinator", required=True, metavar="HOST:PORT",
+        help="the address `repro cluster serve` (or run-all "
+        "--backend cluster) is listening on",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent task subprocesses (0 = one per CPU core)",
+    )
+    worker.add_argument(
+        "--cache-dir", required=True,
+        help="this worker's local artifact cache (its L2; misses are "
+        "fetched from the coordinator, outputs mirrored back)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable identity for leases and the manifest roster "
+        "(default: hostname-pid)",
+    )
+    worker.set_defaults(func=_cmd_cluster)
+
+    runs = sub.add_parser("runs", help="list run journals and how to resume them")
+    runs_sub = runs.add_subparsers(dest="mode", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="enumerate journals under <results>/runs"
+    )
+    runs_list.add_argument(
+        "--results", default="benchmarks/results",
+        help="results directory holding the runs/ journals",
+    )
+    runs_list.set_defaults(func=_cmd_runs)
 
     cache = sub.add_parser(
         "cache", help="inspect, verify, or clear the artifact cache"

@@ -263,16 +263,29 @@ def _summary_markdown(summary: TraceSummary) -> List[str]:
 
 
 def timeline_lines(events: List[dict], width: int = 64) -> List[str]:
-    """ASCII Gantt of task execution (falls back to top-level spans)."""
+    """ASCII Gantt of task execution (falls back to top-level spans).
+
+    Cluster runs record which worker executed each task; those labels
+    are prefixed ``[worker]`` and rows group by worker, so the timeline
+    doubles as a per-worker placement view.
+    """
     from ..analysis.ascii_chart import gantt
 
     tasks = _task_events(events)
     if tasks:
+        def _label(t: dict) -> str:
+            worker_id = t.get("worker_id", "")
+            name = t.get("name", "?")
+            return f"[{worker_id}] {name}" if worker_id else name
+
         rows = [
-            (t.get("name", "?"),
+            (_label(t),
              float(t.get("started", 0.0)),
              float(t.get("finished", 0.0)))
-            for t in sorted(tasks, key=lambda t: float(t.get("started", 0.0)))
+            for t in sorted(
+                tasks,
+                key=lambda t: (t.get("worker_id", ""), float(t.get("started", 0.0))),
+            )
             if t.get("status") == "done"
         ]
     else:

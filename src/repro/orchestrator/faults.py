@@ -16,6 +16,7 @@ Spec grammar
     REPRO_FAULTS = rule [";" rule]*
     rule         = site [":" option ["," option]*]
     site         = "crash_task" | "hang_task" | "corrupt_artifact" | "fail_write"
+                 | "drop_connection" | "delay_heartbeat" | "corrupt_transfer"
     option       = "match=" glob      fnmatch over the site name (default "*")
                  | "nth=" int         fire on the nth matching occurrence
                  | "p=" float         else fire with probability p per occurrence
@@ -32,6 +33,16 @@ Site names the rules match against:
   sees a dead worker), or a raised :class:`InjectedFault` inline.
 * ``fail_write`` / ``corrupt_artifact`` — the artifact reference
   ``<kind>/<key>``; checked by :meth:`ArtifactStore.put`.
+* ``drop_connection`` — the task name; checked by a cluster worker as
+  an assignment arrives.  The worker closes its coordinator socket and
+  reconnects, exercising the lease/reassignment machinery.
+* ``delay_heartbeat`` — the worker id; checked at each heartbeat tick.
+  The worker sleeps ``delay`` seconds, letting its lease expire so the
+  coordinator reassigns its tasks and rejects the stale results.
+* ``corrupt_transfer`` — the artifact reference ``<kind>/<key>``;
+  checked by the cluster shipping layer on the *sending* side.  The
+  receiver's checksum verification must reject the blob (a retriable
+  miss), never commit it.
 
 Determinism
 -----------
@@ -64,8 +75,16 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Directory for cross-process ``once`` latches (optional).
 FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
 
-#: The injection sites threaded through store and scheduler.
-SITES = ("crash_task", "hang_task", "corrupt_artifact", "fail_write")
+#: The injection sites threaded through store, scheduler, and cluster.
+SITES = (
+    "crash_task",
+    "hang_task",
+    "corrupt_artifact",
+    "fail_write",
+    "drop_connection",
+    "delay_heartbeat",
+    "corrupt_transfer",
+)
 
 #: Exit code a crash-faulted worker dies with (distinctive in WorkerDied).
 CRASH_EXIT_CODE = 73
@@ -310,13 +329,35 @@ class FaultInjector:
         checksum footer no longer verifies, so the read path must
         quarantine the file instead of decoding garbage.
         """
-        rule = self.check("corrupt_artifact", ref)
+        return self._flip_byte("corrupt_artifact", ref, payload)
+
+    def corrupt_transfer(self, ref: str, payload: bytes) -> bytes:
+        """Cluster hook: damage a sealed blob as it leaves the sender.
+
+        The receiver re-verifies the checksum footer before committing,
+        so a fired rule must surface as a rejected transfer (retriable
+        miss), never as a corrupt committed artifact.
+        """
+        return self._flip_byte("corrupt_transfer", ref, payload)
+
+    def _flip_byte(self, site: str, ref: str, payload: bytes) -> bytes:
+        rule = self.check(site, ref)
         if rule is None or not payload:
             return payload
         offset = int(_unit_hash(rule.seed, "offset", ref) * len(payload))
         damaged = bytearray(payload)
         damaged[offset] ^= 0xFF
         return bytes(damaged)
+
+    def should_drop_connection(self, task_name: str) -> bool:
+        """Cluster worker hook: sever the coordinator socket now?"""
+        return self.check("drop_connection", task_name) is not None
+
+    def heartbeat_delay(self, worker_id: str) -> float:
+        """Cluster worker hook: seconds to stall this heartbeat tick
+        (0.0 when no ``delay_heartbeat`` rule fires)."""
+        rule = self.check("delay_heartbeat", worker_id)
+        return rule.delay if rule is not None else 0.0
 
 
 # ----------------------------------------------------------------------

@@ -62,11 +62,25 @@ class JournalState:
     task_status: Dict[str, str] = field(default_factory=dict)
     sessions: int = 1
     ended: bool = False
+    #: From the final ``end`` marker (False/0 while a run is live).
+    interrupted: bool = False
+    failed: int = 0
+    cancelled: int = 0
 
     @property
     def completed(self) -> Set[str]:
         """Tasks that never need to run again."""
         return {name for name, status in self.task_status.items() if status == DONE}
+
+    def describe_status(self) -> str:
+        """One word for ``repro runs list``: what state is this run in?"""
+        if not self.ended:
+            return "in-progress"  # or the process died without its end marker
+        if self.interrupted:
+            return "interrupted"
+        if self.failed or self.cancelled:
+            return "failed"
+        return "complete"
 
 
 class RunJournal:
@@ -123,14 +137,21 @@ class RunJournal:
         """
         if record.resumed:
             return
-        self._append({
+        line = {
             "type": "task",
             "name": record.name,
             "status": record.status,
             "attempts": record.attempts,
             "seconds": round(record.seconds, 4),
             "error": record.error.strip().splitlines()[-1] if record.error else "",
-        })
+        }
+        # Which worker ran it — pid locally, worker id on the cluster —
+        # so a resumed run's journal tells the whole placement story.
+        if record.worker:
+            line["worker"] = record.worker
+        if record.worker_id:
+            line["worker_id"] = record.worker_id
+        self._append(line)
 
     def finish(self, interrupted: bool, failed: int, cancelled: int) -> None:
         """Terminal marker; its absence means the run died uncleanly."""
@@ -182,4 +203,7 @@ def load_journal(results_dir: PathLike, run_id: str) -> Optional[JournalState]:
             state.ended = False
         elif kind == "end":
             state.ended = True
+            state.interrupted = bool(entry.get("interrupted", False))
+            state.failed = int(entry.get("failed", 0))
+            state.cancelled = int(entry.get("cancelled", 0))
     return state

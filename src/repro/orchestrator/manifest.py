@@ -23,9 +23,10 @@ PathLike = Union[str, pathlib.Path]
 
 MANIFEST_FORMAT = "repro-run-manifest"
 #: v2 adds run_id / interrupted / faults and per-task attempt counters;
-#: v1 manifests still load (the new fields default to empty).
-MANIFEST_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: v3 adds the execution backend and the cluster worker roster.  Older
+#: manifests still load (the new fields default to empty).
+MANIFEST_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Default file name, written next to the figure outputs.
 MANIFEST_NAME = "manifest.json"
@@ -54,6 +55,11 @@ class RunManifest:
     interrupted: bool = False
     #: Robustness counters (:func:`repro.orchestrator.metrics.fault_totals`).
     faults: dict = field(default_factory=dict)
+    #: Execution backend ("local" or "cluster").
+    backend: str = "local"
+    #: Cluster worker roster: per-worker id, slots, task/byte counters
+    #: (empty for local runs).
+    workers: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -71,6 +77,8 @@ class RunManifest:
         run_id: str = "",
         interrupted: bool = False,
         faults: Optional[dict] = None,
+        backend: str = "local",
+        workers: Optional[Sequence[dict]] = None,
     ) -> "RunManifest":
         return cls(
             scale=scale,
@@ -86,6 +94,8 @@ class RunManifest:
             run_id=run_id,
             interrupted=interrupted,
             faults=dict(faults or {}),
+            backend=backend,
+            workers=list(workers or []),
         )
 
     # ------------------------------------------------------------------
@@ -103,6 +113,8 @@ class RunManifest:
             "created": self.created,
             "run_id": self.run_id,
             "interrupted": self.interrupted,
+            "backend": self.backend,
+            "workers": self.workers,
             "scale": self.scale,
             "n_events": self.n_events,
             "jobs": self.jobs,
@@ -148,6 +160,8 @@ class RunManifest:
             run_id=str(data.get("run_id", "")),
             interrupted=bool(data.get("interrupted", False)),
             faults=dict(data.get("faults", {})),
+            backend=str(data.get("backend", "local")),
+            workers=list(data.get("workers", [])),
         )
 
     # ------------------------------------------------------------------
@@ -192,6 +206,16 @@ class RunManifest:
         ]
         if fault_parts:
             lines.append("faults: " + ", ".join(fault_parts))
+        if self.workers:
+            lines.append(f"workers ({self.backend} backend):")
+            for worker in self.workers:
+                lines.append(
+                    f"  {worker.get('worker_id', '?'):20s} "
+                    f"{worker.get('slots', 0)} slot(s)  "
+                    f"{worker.get('tasks_done', 0):4d} tasks  "
+                    f"up {worker.get('bytes_in', 0)} B / "
+                    f"down {worker.get('bytes_out', 0)} B"
+                )
         for kind, stats in cache.get("kinds", {}).items():
             lines.append(
                 f"  {kind:10s} {stats.get('hits', 0):5d} hits  "
@@ -220,6 +244,7 @@ class RunManifest:
                 started=float(t.get("started", 0.0)),
                 finished=float(t.get("finished", 0.0)),
                 worker=int(t.get("worker", 0)),
+                worker_id=str(t.get("worker_id", "")),
                 error=t.get("error", ""),
                 attempts=int(t.get("attempts", 0)),
                 worker_deaths=int(t.get("worker_deaths", 0)),

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..branchnet import BUDGET_32KB, BUDGET_8KB
+from ..cluster.shipping import ShippingStore
 from ..experiments import FIGURES, figure_slug
 from ..experiments.runner import SCALE_EVENTS, ExperimentContext, events_per_app
 from ..obs.report import summarize
@@ -105,8 +106,20 @@ def scale_label(n_events: int) -> str:
     return f"{n_events}-events"
 
 
+def resolve_jobs(jobs: int) -> int:
+    """``--jobs 0`` (or negative) means one worker per CPU core."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def _context(n_events: int, cache_dir: Optional[str]) -> ExperimentContext:
-    store = ArtifactStore(cache_dir) if cache_dir else None
+    """The store a task runs against: inside a cluster worker
+    (``REPRO_SHIP_VIA`` set) it ships artifacts through the
+    coordinator; otherwise it is the plain local store."""
+    store: Optional[ArtifactStore] = None
+    if cache_dir:
+        store = ShippingStore.from_env(cache_dir) or ArtifactStore(cache_dir)
     return ExperimentContext(n_events=n_events, store=store)
 
 
@@ -229,10 +242,38 @@ _STAGE_FNS: Dict[str, Callable[[str, int, str], dict]] = {
 # ----------------------------------------------------------------------
 # Figure tasks
 # ----------------------------------------------------------------------
+def publish_figure_text(results_dir: str, name: str, text: str) -> pathlib.Path:
+    """Atomically publish one figure's text file under ``results_dir``.
+
+    A crash mid-write must never leave a truncated figure file that a
+    resumed run would then trust — hence temp file + fsync + rename.
+    """
+    directory = pathlib.Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / f"{figure_slug(name)}.txt"
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
 def run_figure(
     name: str, n_events: int, cache_dir: Optional[str], results_dir: Optional[str]
 ) -> dict:
-    """Regenerate one table/figure against the (warmed) store."""
+    """Regenerate one table/figure against the (warmed) store.
+
+    With ``results_dir=None`` (cluster workers) the text is only
+    returned — the coordinator side publishes it."""
     module_name, fn_name = FIGURES[name]
     module = importlib.import_module(f".experiments.{module_name}", package="repro")
     ctx = _context(n_events, cache_dir)
@@ -241,24 +282,26 @@ def run_figure(
     text = result.to_text() + f"\n(scale: {scale_label(n_events)})\n"
     slug = figure_slug(name)
     if results_dir:
-        directory = pathlib.Path(results_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: a crash mid-write must never leave a truncated
-        # figure file that a resumed run would then trust.
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, directory / f"{slug}.txt")
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        publish_figure_text(results_dir, name, text)
     return {"figure": name, "slug": slug, "text": text, **_stats(ctx)}
+
+
+def task_from_payload(payload: dict, cache_dir: str):
+    """Rebuild ``(fn, args)`` from a task's wire payload.
+
+    The cluster worker side of :func:`build_graph`'s payloads: the same
+    module-level task functions, so a shipped task computes exactly what
+    a local one would.  Figure payloads run with ``results_dir=None`` —
+    the text rides back in the result and the coordinator publishes it.
+    """
+    kind = payload.get("kind")
+    n_events = int(payload["n_events"])
+    if kind == "figure":
+        return run_figure, (str(payload["figure"]), n_events, cache_dir, None)
+    fn = _STAGE_FNS.get(str(kind))
+    if fn is None:
+        raise ValueError(f"unknown task payload kind {kind!r}")
+    return fn, (str(payload["app"]), n_events, cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +343,7 @@ def build_graph(
                     deps=[f"{dep}:{app}" for dep in STAGE_DEPS[stage]],
                     kind=stage,
                     app=app,
+                    payload={"kind": stage, "app": app, "n_events": n_events},
                 )
     for name in figures:
         deps = [
@@ -314,6 +358,7 @@ def build_graph(
             args=(name, n_events, cache_dir, results_dir),
             deps=deps,
             kind="figure",
+            payload={"kind": "figure", "figure": name, "n_events": n_events},
         )
     return graph
 
@@ -359,6 +404,9 @@ def run_all(
     keep_going: bool = True,
     run_id: Optional[str] = None,
     resume: Optional[str] = None,
+    backend: str = "local",
+    coordinator: Optional[str] = None,
+    lease_seconds: Optional[float] = None,
 ) -> Tuple[RunManifest, Dict[str, str]]:
     """Execute the suite; returns the manifest and figure texts by name.
 
@@ -374,6 +422,12 @@ def run_all(
     that journal, re-executes only incomplete tasks, and appends to the
     same file.  SIGINT/SIGTERM drain in-flight tasks and leave the
     journal resumable.
+
+    ``backend="cluster"`` serves the graph to remote workers instead of
+    a local pool: ``coordinator`` is the ``HOST:PORT`` to bind, tasks
+    are leased to connected ``repro cluster worker`` processes, and
+    ``cache_dir`` (mandatory) is the artifact hub they ship through.
+    The figures and report are byte-identical to a local run.
     """
     journal: Optional[RunJournal] = None
     completed: Sequence[str] = ()
@@ -404,6 +458,31 @@ def run_all(
         )
     n_events = n_events if n_events is not None else events_per_app()
     run_id = run_id or new_run_id()
+    jobs = resolve_jobs(jobs)
+
+    cluster_backend = None
+    if backend == "cluster":
+        if not coordinator:
+            raise ValueError(
+                "--backend cluster needs --coordinator HOST:PORT (the bind address)"
+            )
+        if not cache_dir:
+            raise ValueError(
+                "--backend cluster needs a cache directory (the artifact hub "
+                "workers ship through)"
+            )
+        from ..cluster.coordinator import DEFAULT_LEASE_SECONDS, ClusterBackend
+
+        cluster_backend = ClusterBackend(
+            bind=coordinator,
+            cache_dir=cache_dir,
+            lease_seconds=(
+                lease_seconds if lease_seconds is not None else DEFAULT_LEASE_SECONDS
+            ),
+            log=log,
+        )
+    elif backend != "local":
+        raise ValueError(f"unknown backend {backend!r}; expected local or cluster")
 
     if journal is None and results_dir:
         journal = RunJournal.start(
@@ -412,6 +491,7 @@ def run_all(
                 "figures": selected,
                 "n_events": n_events,
                 "jobs": jobs,
+                "backend": backend,
                 "cache_dir": cache_dir or "",
                 "results_dir": str(results_dir),
                 "scale": scale_label(n_events),
@@ -424,7 +504,8 @@ def run_all(
     graph = build_graph(selected, n_events, cache_dir, results_dir)
     try:
         with obs.span(
-            "run", jobs=jobs, scale=scale_label(n_events), figures=len(selected)
+            "run", jobs=jobs, backend=backend, scale=scale_label(n_events),
+            figures=len(selected),
         ):
             with Timer() as timer:
                 records = graph.run(
@@ -435,10 +516,13 @@ def run_all(
                     completed=completed,
                     stop_event=stop,
                     on_record=journal.record_task if journal else None,
+                    backend=cluster_backend,
                 )
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
+        if cluster_backend is not None:
+            cluster_backend.close()
     interrupted = stop.is_set()
 
     cache = aggregate_cache_stats(record.result for record in records)
@@ -468,6 +552,11 @@ def run_all(
         if record.kind == "figure" and record.status == DONE
         and isinstance(record.result, dict)
     }
+    # Cluster figures computed remotely with results_dir=None: publish
+    # their texts here, through the same atomic path a local task uses.
+    if cluster_backend is not None and results_dir:
+        for name, text in texts.items():
+            publish_figure_text(results_dir, name, text)
     # Figures satisfied from the journal were written by the previous
     # session; read them back so the caller sees the complete set.
     if results_dir:
@@ -490,6 +579,8 @@ def run_all(
         run_id=run_id,
         interrupted=interrupted,
         faults=fault_totals(records, cache),
+        backend=backend,
+        workers=cluster_backend.roster() if cluster_backend is not None else (),
     )
     counts = manifest.counts()
     if journal is not None:

@@ -7,6 +7,14 @@ edges.  Independent chains — e.g. the per-application trace → baseline →
 profile → train pipelines of the experiment suite — execute
 concurrently, which is what lets ``repro run-all`` scale with cores.
 
+Parallel execution goes through a pluggable :class:`ExecutionBackend`
+seam: one backend-agnostic drain loop (launch while the backend has
+capacity, wait for :class:`Completion`\\ s, enforce deadlines, retry
+failures) serves both the local process pool
+(:class:`LocalPoolBackend`) and the cluster coordinator
+(:class:`repro.cluster.coordinator.ClusterBackend`), so distributed
+runs inherit every robustness property of local ones.
+
 Tasks communicate through side effects on the shared artifact store,
 not through their return values; returns are kept small (stats dicts)
 because they cross a process boundary.
@@ -121,7 +129,13 @@ class RetryPolicy:
 
 @dataclass
 class TaskSpec:
-    """One schedulable unit: a picklable function plus its arguments."""
+    """One schedulable unit: a picklable function plus its arguments.
+
+    ``payload`` is an optional wire-format description of the task (a
+    small JSON-safe dict) for backends that cannot ship ``fn``/``args``
+    across machines: the cluster coordinator sends the payload and the
+    remote worker rebuilds the callable from it.
+    """
 
     name: str
     fn: Callable[..., Any]
@@ -129,6 +143,7 @@ class TaskSpec:
     deps: Tuple[str, ...] = ()
     kind: str = ""
     app: str = ""
+    payload: Optional[dict] = None
 
 
 @dataclass
@@ -145,6 +160,8 @@ class TaskRecord:
     started: float = 0.0  # offset from graph start
     finished: float = 0.0
     worker: int = 0  # pid that executed the task
+    #: Cluster worker that executed the task ("" for local execution).
+    worker_id: str = ""
     error: str = ""
     #: Execution attempts made (0 for skipped/cancelled/resumed tasks).
     attempts: int = 0
@@ -169,6 +186,7 @@ class TaskRecord:
             "started": round(self.started, 4),
             "finished": round(self.finished, 4),
             "worker": self.worker,
+            "worker_id": self.worker_id,
             "error": self.error,
             "attempts": self.attempts,
             "worker_deaths": self.worker_deaths,
@@ -210,6 +228,160 @@ def _worker_entry(conn, name: str, fn, args, attempt: int) -> None:
         conn.close()
 
 
+@dataclass
+class Completion:
+    """One finished task attempt, as reported by an execution backend.
+
+    ``outcome`` is ``"ok"`` (result delivered), ``"error"`` (the task
+    function raised; ``error`` holds the traceback) or ``"died"`` (the
+    executing process/worker vanished before delivering a result —
+    pipe EOF locally, an expired lease on the cluster).
+    """
+
+    handle: Any
+    outcome: str
+    result: Any = None
+    seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    worker: int = 0  # executing pid (0 if unknown)
+    worker_id: str = ""  # cluster worker id ("" for local)
+    error: str = ""
+    exitcode: Optional[int] = None
+
+
+class ExecutionBackend:
+    """Where task attempts actually execute — the scheduler's seam.
+
+    The drain loop in :meth:`TaskGraph._run_backend` is backend-agnostic:
+    it launches ready tasks while the backend reports capacity, collects
+    :class:`Completion`\\ s, enforces per-attempt deadlines by cancelling
+    handles, and routes failures through the retry policy.
+    Implementations decide *where* an attempt runs:
+    :class:`LocalPoolBackend` supervises one local process per attempt;
+    :class:`repro.cluster.coordinator.ClusterBackend` leases tasks to
+    remote workers over TCP.  Handles are opaque to the loop — it only
+    stores them, keys bookkeeping by ``id(handle)``, and passes them
+    back to :meth:`cancel`.
+    """
+
+    #: Short backend name, recorded in manifests and journals.
+    name = "backend"
+
+    def has_capacity(self) -> bool:
+        """Whether the drain loop may launch another task right now."""
+        raise NotImplementedError
+
+    def launch(self, spec: TaskSpec, attempt: int) -> Any:
+        """Start one attempt of ``spec``; returns an opaque handle."""
+        raise NotImplementedError
+
+    def wait(self, timeout: float) -> List[Completion]:
+        """Completions that arrived within ``timeout`` seconds (may be
+        empty; must not block longer than ``timeout``)."""
+        raise NotImplementedError
+
+    def cancel(self, handle: Any) -> None:
+        """Abort one launched attempt; no completion is delivered for
+        it afterwards (a racing one is ignored by the loop)."""
+        raise NotImplementedError
+
+    def drain(self) -> List[Any]:
+        """Hand back launched-but-not-yet-executing handles.
+
+        Called when the run starts draining (failure under fail-fast,
+        or a stop request).  Backends with an assignment queue — the
+        cluster — return handles no worker has picked up yet, so the
+        drain does not wait on work that will never start; attempts
+        already in flight are unaffected.
+        """
+        return []
+
+    def close(self) -> None:
+        """Release backend resources (processes, sockets, threads)."""
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """One supervised local process per task attempt (``jobs > 1``).
+
+    The pre-seam behaviour, verbatim: result pipes are multiplexed with
+    :func:`multiprocessing.connection.wait`, EOF on a pipe means the
+    worker died, and :meth:`cancel` terminates the process (the
+    deadline-sweep path for hung workers).
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+        self._mp = multiprocessing.get_context()
+        self._running: Dict[Any, dict] = {}  # conn -> handle
+
+    def has_capacity(self) -> bool:
+        """True while fewer than ``jobs`` processes are running."""
+        return len(self._running) < self.jobs
+
+    def launch(self, spec: TaskSpec, attempt: int) -> Any:
+        """Fork one supervised process for this attempt."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=_worker_entry,
+            args=(child_conn, spec.name, spec.fn, spec.args, attempt),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handle = {"name": spec.name, "proc": proc, "conn": parent_conn}
+        self._running[parent_conn] = handle
+        return handle
+
+    def wait(self, timeout: float) -> List[Completion]:
+        """Multiplex result pipes; EOF on a pipe → ``died``."""
+        if not self._running:
+            if timeout > 0:
+                time.sleep(timeout)
+            return []
+        completions: List[Completion] = []
+        for conn in _connection_wait(list(self._running), timeout=timeout):
+            handle = self._running.pop(conn)
+            proc = handle["proc"]
+            try:
+                outcome, payload = conn.recv()
+            except (EOFError, OSError):
+                outcome, payload = "died", None
+            finally:
+                conn.close()
+            proc.join(timeout=5.0)
+            if outcome == "ok":
+                result, seconds, cpu_seconds, pid = payload
+                completions.append(Completion(
+                    handle=handle, outcome="ok", result=result,
+                    seconds=seconds, cpu_seconds=cpu_seconds, worker=pid,
+                ))
+            elif outcome == "error":
+                completions.append(
+                    Completion(handle=handle, outcome="error", error=payload)
+                )
+            else:
+                completions.append(Completion(
+                    handle=handle, outcome="died", exitcode=proc.exitcode,
+                ))
+        return completions
+
+    def cancel(self, handle: Any) -> None:
+        """Terminate the attempt's process (hung-worker reclamation)."""
+        conn = handle["conn"]
+        if self._running.pop(conn, None) is None:
+            return
+        handle["proc"].terminate()
+        handle["proc"].join(timeout=5.0)
+        conn.close()
+
+    def close(self) -> None:
+        """Terminate any processes still running — belt-and-braces."""
+        for handle in list(self._running.values()):
+            self.cancel(handle)
+
+
 class TaskGraph:
     """A DAG of named tasks, executed inline or across processes."""
 
@@ -224,11 +396,15 @@ class TaskGraph:
         deps: Sequence[str] = (),
         kind: str = "",
         app: str = "",
+        payload: Optional[dict] = None,
     ) -> None:
+        """Register a task; ``payload`` is its wire-format description
+        for remote backends (see :class:`TaskSpec`)."""
         if name in self._tasks:
             raise ValueError(f"duplicate task name {name!r}")
         self._tasks[name] = TaskSpec(
-            name=name, fn=fn, args=tuple(args), deps=tuple(deps), kind=kind, app=app
+            name=name, fn=fn, args=tuple(args), deps=tuple(deps), kind=kind,
+            app=app, payload=payload,
         )
 
     def __len__(self) -> int:
@@ -272,6 +448,7 @@ class TaskGraph:
         completed: Sequence[str] = (),
         stop_event: Optional[threading.Event] = None,
         on_record: Optional[Callable[[TaskRecord], None]] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> List[TaskRecord]:
         """Execute every task; returns records in completion order.
 
@@ -281,17 +458,31 @@ class TaskGraph:
         *newly decided* task (the journaling hook).  ``stop_event``
         requests a drain: no new tasks start, in-flight ones finish
         (bounded by the policy timeout), the rest become ``cancelled``.
+
+        ``backend`` overrides process selection entirely: the graph
+        drains through the given :class:`ExecutionBackend` (the cluster
+        coordinator passes itself here) and ``jobs`` is ignored.  The
+        caller owns a passed-in backend's lifecycle; the pool backend
+        created internally for ``jobs > 1`` is closed before returning.
         """
         self._validate()
         policy = policy or RetryPolicy()
         resumed = [name for name in completed if name in self._tasks]
+        if backend is not None:
+            return self._run_backend(
+                backend, log, policy, keep_going, resumed, stop_event, on_record
+            )
         if jobs <= 1:
             return self._run_inline(
                 log, policy, keep_going, resumed, stop_event, on_record
             )
-        return self._run_pool(
-            jobs, log, policy, keep_going, resumed, stop_event, on_record
-        )
+        pool = LocalPoolBackend(jobs)
+        try:
+            return self._run_backend(
+                pool, log, policy, keep_going, resumed, stop_event, on_record
+            )
+        finally:
+            pool.close()
 
     # ------------------------------------------------------------------
     def _record_for(self, spec: TaskSpec) -> TaskRecord:
@@ -323,6 +514,7 @@ class TaskGraph:
             started=round(record.started, 6),
             finished=round(record.finished, 6),
             worker=record.worker,
+            worker_id=record.worker_id,
             attempts=record.attempts,
             worker_deaths=record.worker_deaths,
             timeouts=record.timeouts,
@@ -439,18 +631,20 @@ class TaskGraph:
         return records
 
     # ------------------------------------------------------------------
-    def _run_pool(
-        self, jobs: int, log, policy: RetryPolicy, keep_going: bool,
-        resumed: Sequence[str], stop_event, on_record,
+    def _run_backend(
+        self, backend: ExecutionBackend, log, policy: RetryPolicy,
+        keep_going: bool, resumed: Sequence[str], stop_event, on_record,
     ) -> List[TaskRecord]:
-        """Supervised multi-process execution.
+        """Supervised execution through an :class:`ExecutionBackend`.
 
-        One process per task attempt: the supervisor multiplexes result
-        pipes, enforces per-attempt deadlines (terminating hung
-        workers), detects dead workers via pipe EOF, and schedules
-        retries from a backoff heap.
+        One launch per task attempt: the drain loop collects
+        completions, enforces per-attempt deadlines (cancelling hung
+        attempts), turns ``died`` completions into :class:`WorkerDied`,
+        and schedules retries from a backoff heap.  With
+        :class:`LocalPoolBackend` this is the classic supervised
+        process pool; with the cluster backend the same loop drives
+        remote workers.
         """
-        mp = multiprocessing.get_context()
         t0 = time.perf_counter()
 
         def now() -> float:
@@ -469,7 +663,9 @@ class TaskGraph:
         deaths: Dict[str, int] = {}
         timed_out: Dict[str, int] = {}
         retry_heap: List[Tuple[float, str]] = []  # (due offset, task)
-        running: Dict[Any, dict] = {}  # conn -> {name, proc, started, deadline}
+        # id(handle) -> {handle, name, started, deadline}; handles are
+        # backend-opaque (and possibly unhashable), hence the id() key.
+        outstanding: Dict[int, dict] = {}
         halted = False
 
         def decide(record: TaskRecord) -> List[TaskRecord]:
@@ -519,18 +715,11 @@ class TaskGraph:
             spec = self._tasks[name]
             attempt = attempts.get(name, 0) + 1
             attempts[name] = attempt
-            parent_conn, child_conn = mp.Pipe(duplex=False)
-            proc = mp.Process(
-                target=_worker_entry,
-                args=(child_conn, spec.name, spec.fn, spec.args, attempt),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+            handle = backend.launch(spec, attempt)
             started = now()
-            running[parent_conn] = {
+            outstanding[id(handle)] = {
+                "handle": handle,
                 "name": name,
-                "proc": proc,
                 "started": started,
                 "deadline": (
                     started + policy.timeout if policy.timeout is not None else None
@@ -577,71 +766,73 @@ class TaskGraph:
             settle(record.name)
 
         try:
-            while ready or running or retry_heap:
+            while ready or outstanding or retry_heap:
                 draining = halted or (
                     stop_event is not None and stop_event.is_set()
                 )
-                if draining and not running:
-                    break
+                if draining:
+                    # Reclaim launched-but-unstarted work (cluster queue)
+                    # so the drain only waits on attempts in flight.
+                    for handle in backend.drain():
+                        outstanding.pop(id(handle), None)
+                    if not outstanding:
+                        break
                 if not draining:
                     while retry_heap and retry_heap[0][0] <= now():
                         _, name = heapq.heappop(retry_heap)
                         ready.insert(0, name)
-                    while ready and len(running) < jobs:
+                    while ready and backend.has_capacity():
                         launch(ready.pop(0))
-                if not running:
+                if not outstanding:
                     if retry_heap:
                         time.sleep(
                             min(_POLL_SECONDS, max(0.0, retry_heap[0][0] - now()))
                         )
+                    elif ready:
+                        time.sleep(_POLL_SECONDS)  # backend at capacity
                     continue
                 wait_for = _POLL_SECONDS
-                for info in running.values():
+                for info in outstanding.values():
                     if info["deadline"] is not None:
                         wait_for = min(wait_for, max(0.0, info["deadline"] - now()))
                 if retry_heap and not draining:
                     wait_for = min(wait_for, max(0.0, retry_heap[0][0] - now()))
-                for conn in _connection_wait(list(running), timeout=wait_for):
-                    info = running.pop(conn)
+                for completion in backend.wait(wait_for):
+                    info = outstanding.pop(id(completion.handle), None)
+                    if info is None:  # completion raced a cancellation
+                        continue
                     name = info["name"]
-                    proc = info["proc"]
-                    try:
-                        outcome, payload = conn.recv()
-                    except (EOFError, OSError):
-                        outcome, payload = "died", None
-                    finally:
-                        conn.close()
-                    proc.join(timeout=5.0)
-                    if outcome == "ok":
+                    if completion.outcome == "ok":
                         record = finish_record(info)
-                        (
-                            record.result,
-                            record.seconds,
-                            record.cpu_seconds,
-                            record.worker,
-                        ) = payload
+                        record.result = completion.result
+                        record.seconds = completion.seconds
+                        record.cpu_seconds = completion.cpu_seconds
+                        record.worker = completion.worker
+                        record.worker_id = completion.worker_id
                         record.status = DONE
                         decide(record)
-                    elif outcome == "error":
-                        handle_failure(info, payload, payload)
+                    elif completion.outcome == "error":
+                        handle_failure(info, completion.error, completion.error)
                     else:
                         deaths[name] = deaths.get(name, 0) + 1
                         obs.add("scheduler.worker_deaths")
-                        died = WorkerDied(name, attempts[name], proc.exitcode)
+                        died = WorkerDied(name, attempts[name], completion.exitcode)
+                        message = completion.error or str(died)
                         obs.event(
                             "worker_died", task=name, attempt=attempts[name],
-                            exitcode=proc.exitcode,
+                            exitcode=completion.exitcode,
+                            worker_id=completion.worker_id,
                         )
-                        handle_failure(info, f"{type(died).__name__}: {died}", str(died))
-                # Deadline sweep: terminate and reclaim hung workers.
-                for conn, info in list(running.items()):
+                        handle_failure(
+                            info, f"{type(died).__name__}: {message}", message
+                        )
+                # Deadline sweep: cancel and reclaim hung attempts.
+                for key, info in list(outstanding.items()):
                     if info["deadline"] is None or now() <= info["deadline"]:
                         continue
-                    del running[conn]
+                    del outstanding[key]
+                    backend.cancel(info["handle"])
                     name = info["name"]
-                    info["proc"].terminate()
-                    info["proc"].join(timeout=5.0)
-                    conn.close()
                     timed_out[name] = timed_out.get(name, 0) + 1
                     obs.add("scheduler.timeouts")
                     timeout_error = TaskTimeout(name, attempts[name], policy.timeout)
@@ -654,11 +845,9 @@ class TaskGraph:
                         str(timeout_error),
                     )
         finally:
-            # Belt-and-braces: no worker outlives the supervisor.
-            for info in running.values():
-                info["proc"].terminate()
-            for info in running.values():
-                info["proc"].join(timeout=5.0)
+            # Belt-and-braces: no attempt outlives the supervisor.
+            for info in outstanding.values():
+                backend.cancel(info["handle"])
 
         # Whatever was never decided — queued behind the stop, waiting on
         # a retry that will not happen, or downstream of it all — is

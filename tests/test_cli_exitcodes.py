@@ -1,0 +1,118 @@
+"""Subprocess tests pinning the CLI's exit-code contract.
+
+Scripts and CI wrap ``repro``; they key off exit codes, not prose, so
+the codes are part of the interface: 130 for an interrupted (resumable)
+``run-all``, non-zero from ``cache verify --no-quarantine`` when the
+scan finds damage, 0 when verification repairs by quarantining.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster.shipping import commit_sealed_blob
+from repro.orchestrator import faults
+from repro.orchestrator.store import ArtifactStore, seal_payload
+
+
+def _env():
+    env = dict(os.environ)
+    env.pop(faults.FAULTS_ENV, None)
+    env.pop(faults.FAULTS_STATE_ENV, None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            os.path.join(os.path.dirname(__file__), "..", "src"),
+            env.get("PYTHONPATH", ""),
+        ) if p
+    )
+    return env
+
+
+def _repro(*argv, env=None, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=env or _env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=timeout,
+    )
+
+
+class TestInterruptExitCode:
+    def test_sigint_during_run_all_exits_130(self, tmp_path):
+        env = _env()
+        # Hold one task open so the signal lands mid-run on any machine.
+        env[faults.FAULTS_ENV] = "hang_task:match=baseline:postgres,delay=8"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "run-all",
+             "--figures", "fig02", "--jobs", "2", "--events", "2000",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--results", str(tmp_path / "results")],
+            env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        time.sleep(3.0)
+        process.send_signal(signal.SIGINT)
+        output, _ = process.communicate(timeout=120)
+        assert process.returncode == 130, output
+        assert "resume" in output
+
+
+class TestCacheVerifyExitCode:
+    def _store_with_artifacts(self, tmp_path, count=3):
+        store = ArtifactStore(tmp_path / "cache")
+        for i in range(count):
+            commit_sealed_blob(
+                store, "trace", f"key{i}", seal_payload(b"payload-%d" % i)
+            )
+        return store
+
+    def test_clean_store_verifies_zero(self, tmp_path):
+        self._store_with_artifacts(tmp_path)
+        result = _repro(
+            "cache", "verify", "--no-quarantine",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert result.returncode == 0, result.stdout
+        assert "0 corrupt" in result.stdout
+
+    @pytest.mark.parametrize("damage", ["truncate", "bitflip"])
+    def test_damaged_artifact_fails_verify(self, tmp_path, damage):
+        store = self._store_with_artifacts(tmp_path)
+        path = store._path("trace", "key1")
+        blob = path.read_bytes()
+        if damage == "truncate":
+            path.write_bytes(blob[: len(blob) // 2])
+        else:
+            flipped = bytearray(blob)
+            flipped[5] ^= 0xFF
+            path.write_bytes(bytes(flipped))
+        result = _repro(
+            "cache", "verify", "--no-quarantine",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert result.returncode != 0, result.stdout
+        assert "CORRUPT" in result.stdout
+        assert path.exists()  # --no-quarantine reports, never moves
+
+    def test_quarantining_verify_repairs_and_exits_zero(self, tmp_path):
+        store = self._store_with_artifacts(tmp_path)
+        path = store._path("trace", "key2")
+        path.write_bytes(b"rotten")
+        result = _repro(
+            "cache", "verify", "--cache-dir", str(tmp_path / "cache")
+        )
+        # Quarantine mode *handled* the damage: exit 0, file moved out
+        # of the committed namespace, and a re-scan comes back clean.
+        assert result.returncode == 0, result.stdout
+        assert "quarantined" in result.stdout
+        assert not path.exists()
+        rescan = _repro(
+            "cache", "verify", "--no-quarantine",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert rescan.returncode == 0
+        assert "0 corrupt" in rescan.stdout

@@ -1,0 +1,162 @@
+"""Unit tests for the cluster wire protocol and artifact shipping.
+
+These run without any coordinator: frames go over a local socketpair,
+and the shipping helpers are exercised directly against a temp-dir
+store.  The end-to-end coordinator/worker behaviour lives in
+``test_cluster.py``.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.shipping import commit_sealed_blob, read_sealed_blob
+from repro.orchestrator.store import (
+    ArtifactStore,
+    CorruptArtifact,
+    seal_payload,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip_message_only(self, pair):
+        left, right = pair
+        protocol.send_frame(left, {"op": "poll", "free": 2})
+        message, blob = protocol.recv_frame(right)
+        assert message == {"op": "poll", "free": 2}
+        assert blob == b""
+
+    def test_roundtrip_with_blob(self, pair):
+        left, right = pair
+        payload = bytes(range(256)) * 100
+        protocol.send_frame(left, {"op": "put"}, payload)
+        message, blob = protocol.recv_frame(right)
+        assert message == {"op": "put"}
+        assert blob == payload
+
+    def test_numpy_scalars_serialize(self, pair):
+        # Task stats carry numpy scalars; they must cross as plain JSON.
+        left, right = pair
+        protocol.send_frame(
+            left, {"mpki": np.float64(6.95), "count": np.int64(25)}
+        )
+        message, _ = protocol.recv_frame(right)
+        assert message == {"mpki": 6.95, "count": 25}
+
+    def test_clean_eof_raises_connection_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(protocol.ConnectionClosed):
+            protocol.recv_frame(right)
+
+    def test_eof_mid_frame_is_a_protocol_error(self, pair):
+        # A torn frame is different from a clean close: the peer died
+        # mid-send, and the partial bytes must not be trusted.
+        left, right = pair
+        left.sendall(struct.pack("!II", 100, 0) + b'{"op": "tr')
+        left.close()
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.recv_frame(right)
+        assert not isinstance(excinfo.value, protocol.ConnectionClosed)
+
+    def test_oversize_header_rejected_without_alloc(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("!II", protocol.MAX_MESSAGE_BYTES + 1, 0))
+        with pytest.raises(protocol.ProtocolError, match="out of range"):
+            protocol.recv_frame(right)
+
+    def test_non_object_json_rejected(self, pair):
+        left, right = pair
+        encoded = b"[1, 2, 3]"
+        left.sendall(struct.pack("!II", len(encoded), 0) + encoded)
+        with pytest.raises(protocol.ProtocolError, match="not an object"):
+            protocol.recv_frame(right)
+
+    def test_undecodable_json_rejected(self, pair):
+        left, right = pair
+        encoded = b"{not json"
+        left.sendall(struct.pack("!II", len(encoded), 0) + encoded)
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            protocol.recv_frame(right)
+
+    def test_request_is_one_round_trip(self, pair):
+        left, right = pair
+        protocol.send_frame(right, {"ok": True}, b"reply-blob")
+        reply, blob = protocol.request(left, {"op": "get"})
+        assert reply == {"ok": True}
+        assert blob == b"reply-blob"
+        message, _ = protocol.recv_frame(right)
+        assert message == {"op": "get"}
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert protocol.parse_address("10.0.0.5:7781") == ("10.0.0.5", 7781)
+
+    def test_whitespace_tolerated(self):
+        assert protocol.parse_address(" localhost:80 ") == ("localhost", 80)
+
+    @pytest.mark.parametrize(
+        "text", ["", "localhost", ":80", "host:", "host:abc", "host:70000"]
+    )
+    def test_junk_rejected(self, text):
+        with pytest.raises(ValueError):
+            protocol.parse_address(text)
+
+
+class TestSealedBlobShipping:
+    """The receive-side verification that keeps corrupt transfers out
+    of every committed store."""
+
+    def _store(self, tmp_path):
+        return ArtifactStore(tmp_path / "cache")
+
+    def test_commit_then_read_roundtrip(self, tmp_path):
+        store = self._store(tmp_path)
+        blob = seal_payload(b"artifact-payload")
+        commit_sealed_blob(store, "trace", "k1", blob)
+        assert read_sealed_blob(store, "trace", "k1") == blob
+
+    def test_read_absent_is_none(self, tmp_path):
+        assert read_sealed_blob(self._store(tmp_path), "trace", "nope") is None
+
+    def test_corrupt_blob_never_commits(self, tmp_path):
+        store = self._store(tmp_path)
+        blob = bytearray(seal_payload(b"artifact-payload"))
+        blob[3] ^= 0xFF  # damaged in flight
+        with pytest.raises(CorruptArtifact):
+            commit_sealed_blob(store, "trace", "k1", bytes(blob))
+        # Nothing landed in the committed namespace — not even a temp.
+        assert read_sealed_blob(store, "trace", "k1") is None
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_unsealed_blob_never_commits(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(CorruptArtifact):
+            commit_sealed_blob(store, "trace", "k1", b"no footer at all")
+        assert read_sealed_blob(store, "trace", "k1") is None
+
+    def test_locally_corrupt_file_served_as_absent(self, tmp_path):
+        # A file rotted on *our* disk must not be shipped to a peer; it
+        # is quarantined and reported as a miss.
+        store = self._store(tmp_path)
+        blob = seal_payload(b"artifact-payload")
+        commit_sealed_blob(store, "trace", "k1", blob)
+        path = store._path("trace", "k1")
+        damaged = bytearray(path.read_bytes())
+        damaged[0] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+        assert read_sealed_blob(store, "trace", "k1") is None
+        assert not path.exists()  # moved to quarantine
+        assert list((tmp_path / "cache" / "quarantine").rglob("*"))
