@@ -37,6 +37,20 @@ Commands
     ``--slots`` local subprocesses (``--slots 0`` = one per core)
     against its own ``--cache-dir``, shipping artifacts back
     checksum-verified.
+``serve {start,status,drive,demo}``
+    The continuous profiling hint service (``repro.serve``): ``start``
+    binds the shard-ingestion protocol and publishes versioned hint
+    tables as client traffic drifts; ``status`` prints a running
+    service's counters (ingest totals, drifted branches, hint
+    versions, freshness); ``drive`` streams one phase of simulated
+    drifting client traffic at a service (``--refresh`` then runs the
+    drift -> incremental re-search -> publish cycle); ``demo`` runs
+    the whole scripted scenario in-process and exits non-zero unless a
+    fresh version is published that beats the stale hints on
+    post-drift traffic.  Connection failures exit 1 with a one-line
+    typed error; bad addresses exit 2 — the same contract as
+    ``repro cluster worker`` (whose first-connection patience is now
+    ``--connect-window``).
 ``runs list``
     Enumerate the run journals under ``<results>/runs`` — run id,
     status, task counts, sessions — and print the exact ``repro
@@ -211,6 +225,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.mode == "worker":
+        from .cluster import worker as worker_mod
         from .cluster.worker import ClusterWorker
 
         try:
@@ -220,6 +235,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 cache_dir=args.cache_dir,
                 worker_id=args.worker_id,
                 log=print,
+                connect_window=(
+                    args.connect_window
+                    if args.connect_window is not None
+                    else worker_mod.CONNECT_WINDOW_SECONDS
+                ),
             )
         except ValueError as error:
             print(error)
@@ -235,6 +255,153 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     args.backend = "cluster"
     args.coordinator = args.bind
     return _cmd_run_all(args)
+
+
+def _serve_engine(max_candidates: Optional[int]):
+    """A refresh engine honouring the CLI's candidate cap (None = default)."""
+    from .core.whisper import WhisperConfig
+    from .serve.refresh import RefreshEngine
+
+    if max_candidates is None:
+        return RefreshEngine()
+    return RefreshEngine(config=WhisperConfig(max_candidates=max_candidates))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve {start,status,drive,demo}`` — the hint service."""
+    from . import wire
+    from .serve.contracts import ServeError, ServiceUnavailable
+
+    if args.mode == "demo":
+        from .serve.client import run_demo
+
+        summary = run_demo(
+            app=args.app,
+            n_clients=args.clients,
+            events_per_phase=args.events,
+            drift_fraction=args.drift_fraction,
+            shard_events=args.shard_events,
+            max_candidates=args.max_candidates,
+            out=args.out,
+        )
+        print(f"app {summary['app']}: {args.clients} clients, "
+              f"{summary['events_per_phase']} events/phase")
+        print(f"bootstrap version {summary['bootstrap_version']} "
+              f"({summary['bootstrap_hints']} hints)")
+        print(f"drift: {len(summary['rotated_branches'])} rotated, "
+              f"{len(summary['drifted'])} detected, "
+              f"{len(summary['searched'])} re-searched")
+        print(f"refreshed version {summary['refreshed_version']} "
+              f"({summary['refreshed_hints']} hints, "
+              f"published={summary['published_after_drift']})")
+        print(f"staleness-MPKI {summary['staleness_mpki']:+.4f} "
+              f"(stale {summary['stale_mpki']:.4f} -> "
+              f"fresh {summary['fresh_mpki']:.4f})")
+        if args.out:
+            print(f"summary: {args.out}")
+        ok = summary["published_after_drift"] and summary["staleness_mpki"] > 0
+        if not ok:
+            print("demo FAILED: no fresh version published or stale hints "
+                  "were not beaten on post-drift traffic")
+        return 0 if ok else 1
+
+    try:
+        address = wire.parse_address(
+            args.bind if args.mode == "start" else args.connect
+        )
+    except ValueError as error:
+        print(error)
+        return 2
+
+    if args.mode == "start":
+        from .orchestrator.store import ArtifactStore
+        from .serve.service import HintService
+
+        store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+        service = HintService(
+            host=address[0],
+            port=address[1],
+            store=store,
+            lease_seconds=args.lease_seconds,
+            buffer_events=args.buffer_events,
+            window_events=args.window_events,
+            drift_threshold=args.drift_threshold,
+            min_executions=args.min_executions,
+            engine=_serve_engine(args.max_candidates),
+            log=print,
+        )
+        try:
+            service.wait()
+        except KeyboardInterrupt:
+            print("interrupted — closing")
+            service.close()
+            return 130
+        service.close()
+        return 0
+
+    from .serve.client import ServeClient, drive_phase
+
+    try:
+        if args.mode == "status":
+            client = ServeClient(address, "cli-status")
+            status = client.status()
+            print(f"sessions: {status['sessions']} live, "
+                  f"{status['sessions_expired']} expired")
+            ingest = status["ingest"]
+            print(f"ingest: {ingest['shards_accepted']} shards "
+                  f"({ingest['events_accepted']} events) accepted, "
+                  f"{ingest['shards_rejected']} rejected")
+            for app, report in sorted(status["apps"].items()):
+                print(f"app {app}: {report['events_total']} events, "
+                      f"{report['drifted_branches']} drifted branches, "
+                      f"freshness {report['freshness_events']} events")
+            for app, versions in sorted(status["versions"].items()):
+                latest = versions[-1]
+                print(f"app {app}: {len(versions)} version(s), current "
+                      f"{latest['version']} ({latest['n_hints']} hints, "
+                      f"reason={latest['reason']})")
+            client.goodbye()
+            return 0
+
+        # drive: stream one phase of drifting traffic, then refresh.
+        from .workloads.drifting import generate_drifting_trace
+        from .workloads.registry import get_spec
+
+        drifting = generate_drifting_trace(
+            get_spec(args.app),
+            input_id=0,
+            n_events=args.phases * args.events,
+            n_phases=args.phases,
+            drift_fraction=args.drift_fraction,
+        )
+        segment = drifting.phase_slice(args.phase)
+        sent = drive_phase(
+            address, args.app, segment.block_ids, segment.taken,
+            n_clients=args.clients, shard_events=args.shard_events,
+            client_prefix=f"drive-p{args.phase}",
+        )
+        print(f"streamed {sent} events of phase {args.phase} "
+              f"({len(drifting.rotated_pcs[args.phase])} rotated branches) "
+              f"across {args.clients} clients")
+        if args.refresh:
+            control = ServeClient(address, "drive-control", args.app)
+            reply = control.refresh()
+            print(f"refresh: drifted={len(reply['drifted'])} "
+                  f"searched={len(reply['searched'])} "
+                  f"published={reply['published']} "
+                  f"version={reply.get('version', '')}")
+            staleness = reply.get("staleness") or {}
+            if staleness:
+                print(f"staleness-MPKI "
+                      f"{staleness['staleness_mpki']:+.4f}")
+            control.goodbye()
+        return 0
+    except (ServeError, ServiceUnavailable) as error:
+        print(error)
+        return 1
+    except (KeyError, ValueError) as error:
+        print(error)
+        return 2
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -578,7 +745,129 @@ def build_parser() -> argparse.ArgumentParser:
         help="stable identity for leases and the manifest roster "
         "(default: hostname-pid)",
     )
+    worker.add_argument(
+        "--connect-window", type=float, default=None, metavar="SECONDS",
+        help="keep retrying the first coordinator connection this long "
+        "before giving up with exit 1 (default: 30)",
+    )
     worker.set_defaults(func=_cmd_cluster)
+
+    hint_serve = sub.add_parser(
+        "serve", help="continuous profiling hint service (repro.serve)"
+    )
+    hint_sub = hint_serve.add_subparsers(dest="mode", required=True)
+    hint_start = hint_sub.add_parser(
+        "start",
+        help="run the hint service: ingest trace shards, detect drift, "
+        "re-search and publish hint-table versions",
+    )
+    hint_start.add_argument(
+        "--bind", default="127.0.0.1:7791", metavar="HOST:PORT",
+        help="address to serve the shard/hints protocol on",
+    )
+    hint_start.add_argument(
+        "--cache-dir", default=None,
+        help="seal published hint tables into this artifact cache "
+        "(default: in-memory registry only)",
+    )
+    hint_start.add_argument(
+        "--window-events", type=int, default=50_000, metavar="N",
+        help="drift-detection window: newest ingested events compared "
+        "against the pinned reference window",
+    )
+    hint_start.add_argument(
+        "--buffer-events", type=int, default=400_000, metavar="N",
+        help="rolling per-app profile buffer (bootstrap training set)",
+    )
+    hint_start.add_argument(
+        "--drift-threshold", type=float, default=0.20, metavar="DELTA",
+        help="flag a branch when its windowed taken-rate moves more "
+        "than this",
+    )
+    hint_start.add_argument(
+        "--min-executions", type=int, default=32, metavar="N",
+        help="ignore branches executing fewer times than this per window",
+    )
+    hint_start.add_argument(
+        "--lease-seconds", type=float, default=15.0, metavar="SECONDS",
+        help="expire a client session after this much silence",
+    )
+    hint_start.add_argument(
+        "--max-candidates", type=int, default=None, metavar="N",
+        help="cap the branches considered per search pass",
+    )
+    hint_start.set_defaults(func=_cmd_serve)
+    hint_status = hint_sub.add_parser(
+        "status", help="print a running service's counters and versions"
+    )
+    hint_status.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the address `repro serve start` is listening on",
+    )
+    hint_status.set_defaults(func=_cmd_serve)
+    hint_drive = hint_sub.add_parser(
+        "drive",
+        help="stream one phase of drifting client traffic at a service",
+    )
+    hint_drive.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the address `repro serve start` is listening on",
+    )
+    hint_drive.add_argument("--app", default="clang", help="application to profile")
+    hint_drive.add_argument(
+        "--phase", type=int, default=0,
+        help="which drift phase to stream (0 = canonical behaviour)",
+    )
+    hint_drive.add_argument(
+        "--phases", type=int, default=2, help="total phases in the schedule"
+    )
+    hint_drive.add_argument(
+        "--events", type=int, default=60_000, help="events per phase"
+    )
+    hint_drive.add_argument(
+        "--clients", type=int, default=8, help="simulated client count"
+    )
+    hint_drive.add_argument(
+        "--shard-events", type=int, default=4000, help="events per shard"
+    )
+    hint_drive.add_argument(
+        "--drift-fraction", type=float, default=0.25,
+        help="fraction of hot branches rotated at each phase boundary",
+    )
+    hint_drive.add_argument(
+        "--refresh", action="store_true",
+        help="after streaming, run the drift -> re-search -> publish cycle",
+    )
+    hint_drive.set_defaults(func=_cmd_serve)
+    hint_demo = hint_sub.add_parser(
+        "demo",
+        help="scripted end-to-end scenario: bootstrap, drift, "
+        "incremental refresh, staleness replay (exit 1 if stale wins)",
+    )
+    hint_demo.add_argument("--app", default="clang", help="application to profile")
+    hint_demo.add_argument(
+        "--clients", type=int, default=8, help="simulated client count"
+    )
+    hint_demo.add_argument(
+        "--events", type=int, default=60_000, help="events per phase"
+    )
+    hint_demo.add_argument(
+        "--shard-events", type=int, default=4000, help="events per shard"
+    )
+    hint_demo.add_argument(
+        "--drift-fraction", type=float, default=0.25,
+        help="fraction of hot branches rotated at the phase boundary",
+    )
+    hint_demo.add_argument(
+        "--max-candidates", type=int, default=32, metavar="N",
+        help="cap the branches considered per search pass",
+    )
+    hint_demo.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the canonical JSON summary here (the "
+        "determinism artifact CI compares across runs)",
+    )
+    hint_demo.set_defaults(func=_cmd_serve)
 
     runs = sub.add_parser("runs", help="list run journals and how to resume them")
     runs_sub = runs.add_subparsers(dest="mode", required=True)

@@ -46,6 +46,11 @@ class _BufferEntry:
         hashed = fold_history(history, self.length, op=self.hash_op)
         return bool(self.formula.evaluate(hashed))
 
+    def __call__(self, history: int) -> bool:
+        # TableHintRuntime's scalar path calls entries as ``entry(history)``;
+        # delegating keeps buffer entries usable as table entries too.
+        return self.predict(history)
+
 
 class HintBuffer:
     """A small LRU buffer of in-flight hints, keyed by branch PC."""

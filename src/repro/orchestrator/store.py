@@ -322,6 +322,22 @@ class _TimingCodec:
         return SimResult(**meta["result"])
 
 
+class _HintsCodec:
+    """Versioned hint tables published by :mod:`repro.serve`.
+
+    The payload is a plain JSON-able dict (app, version id, parent
+    version, entries as encoded 33-bit brhint integers) — no arrays, so
+    the codec is meta-only, like timing results."""
+
+    @staticmethod
+    def encode(table: dict) -> Tuple[dict, Dict[str, np.ndarray]]:
+        return {"table": dict(table)}, {}
+
+    @staticmethod
+    def decode(meta: dict, arrays: Dict[str, np.ndarray], ctx: dict) -> dict:
+        return meta["table"]
+
+
 _CODECS: Dict[str, Any] = {
     "trace": _TraceCodec,
     "prediction": _PredictionCodec,
@@ -330,6 +346,7 @@ _CODECS: Dict[str, Any] = {
     "rombf": _RombfCodec,
     "branchnet": _BranchNetCodec,
     "timing": _TimingCodec,
+    "hints": _HintsCodec,
 }
 
 

@@ -1,0 +1,48 @@
+"""repro.serve: the continuous profiling hint service.
+
+Whisper's deployment story (paper §VI): a data center continuously
+re-profiles live applications and refreshes injected hints as branch
+behaviour evolves.  This package is that loop as a long-running
+service — ingestion of streamed trace shards over the shared
+:mod:`repro.wire` framing (:mod:`repro.serve.ingest`,
+:mod:`repro.serve.session`), rolling windowed profiles with a drift
+detector (:mod:`repro.serve.profiles`), incremental formula re-search
+for only the drifted branches through the supervised scheduler
+(:mod:`repro.serve.refresh`), and content-addressed versioned hint
+tables (:mod:`repro.serve.publish`).  ``repro serve`` is the CLI front
+end; :mod:`repro.serve.client` simulates the production-host fleet.
+"""
+
+from .contracts import (
+    SERVE_PROTOCOL_VERSION,
+    BadShard,
+    ServeError,
+    ServiceUnavailable,
+    SessionExpired,
+    TraceShard,
+    UnknownApp,
+    UnknownVersion,
+    pack_shard_blob,
+    unpack_shard_blob,
+)
+from .client import ServeClient, drive_phase, run_demo
+from .ingest import ShardIngestor
+from .profiles import AppProfile, RollingProfileStore
+from .publish import HintPublisher, HintVersion, staleness_mpki
+from .refresh import RefreshEngine, RefreshOutcome
+from .service import HintService
+from .session import ClientSession, SessionTable
+
+__all__ = [
+    "SERVE_PROTOCOL_VERSION",
+    "ServeError", "ServiceUnavailable", "SessionExpired", "UnknownApp",
+    "BadShard", "UnknownVersion", "TraceShard",
+    "pack_shard_blob", "unpack_shard_blob",
+    "ClientSession", "SessionTable",
+    "AppProfile", "RollingProfileStore",
+    "ShardIngestor",
+    "RefreshEngine", "RefreshOutcome",
+    "HintPublisher", "HintVersion", "staleness_mpki",
+    "HintService",
+    "ServeClient", "drive_phase", "run_demo",
+]

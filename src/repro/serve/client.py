@@ -1,0 +1,273 @@
+"""Client simulator: leased sessions, scripted fleets, the demo harness.
+
+:class:`ServeClient` is the fetcher side of the contracts — the typed
+request/response surface one simulated production host uses.  On top of
+it, :func:`drive_phase` streams a trace slice round-robin across a
+scripted fleet of clients (thousands fit on one machine: each client is
+just a socket plus a sequence counter), and :func:`run_demo` is the
+end-to-end scenario the serve-smoke CI job and the determinism test
+replay: bootstrap-publish on phase-0 traffic, drift on phase-1 traffic,
+incremental refresh, staleness measured by replay — twice the same
+script, byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import wire
+from ..workloads.drifting import generate_drifting_trace
+from ..workloads.registry import get_spec
+from .contracts import (
+    SERVE_PROTOCOL_VERSION,
+    ServiceUnavailable,
+    pack_shard_blob,
+    raise_for_reply,
+)
+from .service import HintService
+
+
+class ServeClient:
+    """One simulated production host talking to the hint service.
+
+    ``app=None`` opens a session-less connection: fine for ``status``
+    and ``get_hints(app=...)``, which need no lease, but ``send_shard``
+    requires a leased session and therefore an app.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        client_id: str,
+        app: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = (
+            wire.parse_address(address) if isinstance(address, str) else address
+        )
+        self.client_id = client_id
+        self.app = app
+        self.timeout = timeout
+        self._sock = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> dict:
+        """Dial the service; with an app, open a leased session (hello)."""
+        try:
+            self._sock = wire.connect(self.address, timeout=self.timeout)
+        except OSError as error:
+            raise ServiceUnavailable(
+                f"hint service at {self.address[0]}:{self.address[1]} "
+                f"unreachable: {error}"
+            ) from error
+        if self.app is None:
+            return {"ok": True}
+        return self._request(
+            {
+                "op": "hello",
+                "client": self.client_id,
+                "app": self.app,
+                "protocol": SERVE_PROTOCOL_VERSION,
+            }
+        )
+
+    def _request(self, message: dict, blob: bytes = b"") -> dict:
+        """One typed round trip; connection failures become typed errors."""
+        if self._sock is None:
+            self.connect()
+        try:
+            reply, _ = wire.request(self._sock, message, blob)
+        except (wire.ProtocolError, OSError) as error:
+            raise ServiceUnavailable(
+                f"hint service connection lost: {error}"
+            ) from error
+        return raise_for_reply(reply)
+
+    # ------------------------------------------------------------------
+    def send_shard(self, block_ids: np.ndarray, taken: np.ndarray) -> dict:
+        """Stream one trace shard; sequence numbers are managed here."""
+        blob = pack_shard_blob(block_ids, taken)
+        reply = self._request(
+            {"op": "shard", "client": self.client_id, "seq": self._seq}, blob
+        )
+        self._seq = int(reply["seq"])
+        return reply
+
+    def heartbeat(self) -> dict:
+        """Renew the session lease."""
+        return self._request({"op": "heartbeat", "client": self.client_id})
+
+    def status(self) -> dict:
+        """The service's counter report."""
+        return self._request({"op": "status"})
+
+    def refresh(self, app: Optional[str] = None) -> dict:
+        """Run the service's refresh cycle for an app (defaults to ours)."""
+        target = app or self.app
+        if target is None:
+            raise ValueError("refresh needs an app (session-less client)")
+        return self._request({"op": "refresh", "app": target})
+
+    def get_hints(self, app: Optional[str] = None, version: Optional[str] = None) -> dict:
+        """Fetch a published hint table (the current one by default)."""
+        target = app or self.app
+        if target is None:
+            raise ValueError("get_hints needs an app (session-less client)")
+        message = {"op": "get_hints", "app": target}
+        if version is not None:
+            message["version"] = version
+        return self._request(message)
+
+    def shutdown(self) -> dict:
+        """Ask the service to stop."""
+        return self._request({"op": "shutdown"})
+
+    def goodbye(self) -> None:
+        """Clean teardown: depart the session and close the socket."""
+        if self._sock is not None:
+            if self.app is not None:
+                try:
+                    self._request({"op": "goodbye", "client": self.client_id})
+                except ServiceUnavailable:
+                    pass
+            self.close()
+
+    def close(self) -> None:
+        """Drop the connection without departing (an abrupt client)."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+
+def drive_phase(
+    address: Union[str, Tuple[str, int]],
+    app: str,
+    block_ids: np.ndarray,
+    taken: np.ndarray,
+    n_clients: int = 8,
+    shard_events: int = 4000,
+    client_prefix: str = "client",
+) -> int:
+    """Stream one trace slice through a scripted fleet, round-robin.
+
+    Shards are cut sequentially from the slice and dealt to clients in
+    order, each send a synchronous request/response — so the service's
+    ingestion order (and hence everything downstream, including version
+    ids) is a pure function of the arguments.  Returns events streamed.
+    """
+    clients = [
+        ServeClient(address, f"{client_prefix}-{i:04d}", app)
+        for i in range(n_clients)
+    ]
+    for client in clients:
+        client.connect()
+    sent = 0
+    for index, start in enumerate(range(0, len(block_ids), shard_events)):
+        stop = min(start + shard_events, len(block_ids))
+        clients[index % n_clients].send_shard(
+            block_ids[start:stop], taken[start:stop]
+        )
+        sent += stop - start
+    for client in clients:
+        client.goodbye()
+    return sent
+
+
+def run_demo(
+    app: str = "clang",
+    n_clients: int = 8,
+    events_per_phase: int = 60_000,
+    drift_fraction: float = 0.25,
+    shard_events: int = 4000,
+    window_events: Optional[int] = None,
+    max_candidates: int = 32,
+    out: Optional[Union[str, pathlib.Path]] = None,
+    service_kwargs: Optional[dict] = None,
+) -> dict:
+    """The scripted end-to-end serving scenario (see module docstring).
+
+    Runs a fresh in-process :class:`HintService` on an ephemeral port,
+    drives two phases of drifting client traffic through it, and returns
+    a JSON-safe summary containing only schedule-determined fields —
+    version ids, drift/search sets, hint counts, staleness MPKI — so two
+    seeded runs produce byte-identical summaries.  When ``out`` is given
+    the summary is also written there as canonical JSON.
+    """
+    from ..core.whisper import WhisperConfig
+    from .refresh import RefreshEngine
+
+    spec = get_spec(app)
+    drifting = generate_drifting_trace(
+        spec,
+        input_id=0,
+        n_events=2 * events_per_phase,
+        n_phases=2,
+        drift_fraction=drift_fraction,
+    )
+    # The drift window spans one full phase: after phase-1 traffic the
+    # current window is purely post-drift, the pinned reference purely pre.
+    window = window_events or events_per_phase
+    engine = RefreshEngine(config=WhisperConfig(max_candidates=max_candidates))
+    kwargs = dict(
+        window_events=window,
+        buffer_events=2 * events_per_phase,
+        engine=engine,
+    )
+    kwargs.update(service_kwargs or {})
+
+    with HintService(**kwargs) as service:
+        address = service.address
+        control = ServeClient(address, "control", app)
+
+        phase0 = drifting.phase_slice(0)
+        drive_phase(
+            address, app, phase0.block_ids, phase0.taken,
+            n_clients=n_clients, shard_events=shard_events,
+            client_prefix="p0",
+        )
+        bootstrap = control.refresh()
+
+        phase1 = drifting.phase_slice(1)
+        drive_phase(
+            address, app, phase1.block_ids, phase1.taken,
+            n_clients=n_clients, shard_events=shard_events,
+            client_prefix="p1",
+        )
+        status_before = control.status()
+        refreshed = control.refresh()
+        served = control.get_hints()
+        control.goodbye()
+
+    staleness = refreshed.get("staleness") or {}
+    summary = {
+        "app": app,
+        "clients": n_clients,
+        "events_per_phase": events_per_phase,
+        "rotated_branches": drifting.rotated_pcs[1],
+        "bootstrap_version": bootstrap.get("version", ""),
+        "bootstrap_hints": bootstrap.get("n_hints", 0),
+        "drifted": refreshed.get("drifted", []),
+        "searched": refreshed.get("searched", []),
+        "refreshed_version": refreshed.get("version", ""),
+        "refreshed_hints": refreshed.get("n_hints", 0),
+        "published_after_drift": bool(refreshed.get("published")),
+        "served_version": served.get("version", ""),
+        "freshness_before_refresh": status_before["apps"][app][
+            "freshness_events"
+        ],
+        "staleness_mpki": round(float(staleness.get("staleness_mpki", 0.0)), 6),
+        "stale_mpki": round(float(staleness.get("stale_mpki", 0.0)), 6),
+        "fresh_mpki": round(float(staleness.get("fresh_mpki", 0.0)), 6),
+    }
+    if out is not None:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+    return summary

@@ -1,0 +1,147 @@
+"""Wire contracts and typed errors for the hint service.
+
+The service speaks the shared :mod:`repro.wire` framing; this module
+pins down what crosses it: trace shards (the streaming profile input)
+and the typed error vocabulary both sides agree on.  Keeping the
+contracts separate from the fetching (:mod:`repro.serve.client`,
+:mod:`repro.serve.ingest`) and the storage (:mod:`repro.serve.profiles`,
+:mod:`repro.serve.publish`) keeps each layer testable on its own.
+
+A shard's event payload travels as the frame *blob*, not JSON: packed
+``int32`` block ids plus bit-packed directions, ``24 + 4.125`` bytes
+per thousand events instead of a JSON array — and byte-for-byte
+deterministic, which the service's publish determinism relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bumped on any serve wire-format change; checked in the hello exchange.
+SERVE_PROTOCOL_VERSION = 1
+
+#: Shard blob header: (n_events,), network byte order.
+_SHARD_HEADER = struct.Struct("!I")
+
+#: Ceiling on events per shard — a client must stream, not dump.
+MAX_SHARD_EVENTS = 1 << 20
+
+
+class ServeError(RuntimeError):
+    """Base class for typed hint-service failures."""
+
+    #: Stable wire identifier (the ``error`` field of a reply frame).
+    code = "error"
+
+
+class ServiceUnavailable(ServeError):
+    """The service address does not answer (connection refused/reset)."""
+
+    code = "unavailable"
+
+
+class SessionExpired(ServeError):
+    """The client's lease lapsed (or it never said hello)."""
+
+    code = "session-expired"
+
+
+class UnknownApp(ServeError):
+    """The client named an application the service does not serve."""
+
+    code = "unknown-app"
+
+
+class BadShard(ServeError):
+    """A shard failed validation (size, sequence, or block range)."""
+
+    code = "bad-shard"
+
+
+class UnknownVersion(ServeError):
+    """``get_hints`` named a version that was never published."""
+
+    code = "unknown-version"
+
+
+#: code -> exception class, for re-raising typed errors client-side.
+ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ServiceUnavailable,
+        SessionExpired,
+        UnknownApp,
+        BadShard,
+        UnknownVersion,
+    )
+}
+
+
+def raise_for_reply(reply: dict) -> dict:
+    """Re-raise a reply frame's typed error client-side, else pass it through."""
+    code = reply.get("error")
+    if code:
+        raise ERRORS_BY_CODE.get(code, ServeError)(reply.get("detail", code))
+    return reply
+
+
+@dataclass(frozen=True)
+class TraceShard:
+    """One streamed chunk of a client's (PC, direction) trace.
+
+    ``block_ids`` index the app's synthetic program (the PC is
+    ``program.branch_pcs[block]``, exactly as in
+    :class:`repro.profiling.trace.Trace`); ``taken`` is the resolved
+    direction per event.
+    """
+
+    app: str
+    seq: int
+    block_ids: np.ndarray
+    taken: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        return int(len(self.block_ids))
+
+
+def pack_shard_blob(block_ids: np.ndarray, taken: np.ndarray) -> bytes:
+    """Encode one shard's event payload into the frame blob."""
+    block_ids = np.ascontiguousarray(block_ids, dtype=np.int32)
+    taken = np.ascontiguousarray(taken, dtype=bool)
+    if len(block_ids) != len(taken):
+        raise BadShard(
+            f"length mismatch: {len(block_ids)} blocks, {len(taken)} directions"
+        )
+    if len(block_ids) > MAX_SHARD_EVENTS:
+        raise BadShard(f"shard too large ({len(block_ids)} events)")
+    header = _SHARD_HEADER.pack(len(block_ids))
+    return (
+        header
+        + block_ids.astype(">i4").tobytes()
+        + np.packbits(taken).tobytes()
+    )
+
+
+def unpack_shard_blob(blob: bytes) -> "tuple[np.ndarray, np.ndarray]":
+    """Decode a shard blob; raises :class:`BadShard` on malformed bytes."""
+    if len(blob) < _SHARD_HEADER.size:
+        raise BadShard(f"shard blob truncated ({len(blob)} bytes)")
+    (n_events,) = _SHARD_HEADER.unpack_from(blob)
+    if n_events > MAX_SHARD_EVENTS:
+        raise BadShard(f"shard too large ({n_events} events)")
+    ids_end = _SHARD_HEADER.size + 4 * n_events
+    bits_end = ids_end + (n_events + 7) // 8
+    if len(blob) != bits_end:
+        raise BadShard(
+            f"shard blob length {len(blob)} does not match {n_events} events"
+        )
+    block_ids = np.frombuffer(
+        blob, dtype=">i4", count=n_events, offset=_SHARD_HEADER.size
+    ).astype(np.int32)
+    bits = np.frombuffer(blob, dtype=np.uint8, offset=ids_end)
+    taken = np.unpackbits(bits, count=n_events).astype(bool)
+    return block_ids, taken

@@ -1,0 +1,108 @@
+"""Shard ingestion: validate client trace shards and feed the profiles.
+
+The fetcher/store/contracts separation: :mod:`repro.serve.contracts`
+defines what a shard *is*, this module decides whether one is
+*acceptable* (known app, in-order sequence, block ids inside the app's
+program) and hands the arrays to the rolling profile store
+(:mod:`repro.serve.profiles`).  The service's network loop never
+touches shard bytes directly, so every validation rule here is unit
+testable without a socket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .. import obs
+from ..workloads.program import Program
+from .contracts import BadShard, UnknownApp, unpack_shard_blob
+from .profiles import RollingProfileStore
+from .session import ClientSession
+
+
+class ShardIngestor:
+    """Validates and applies incoming trace shards.
+
+    ``resolve_program`` maps an app name to its synthetic program (and
+    raises ``KeyError``/``ValueError`` for unknown apps); the ingestor
+    wraps that in the typed :class:`UnknownApp` the wire contract
+    promises.
+    """
+
+    def __init__(
+        self,
+        profiles: RollingProfileStore,
+        resolve_program: Callable[[str], Program],
+    ) -> None:
+        self.profiles = profiles
+        self._resolve_program = resolve_program
+        self._programs: Dict[str, Program] = {}
+        self.shards_accepted = 0
+        self.shards_rejected = 0
+        self.events_accepted = 0
+
+    def program_for(self, app: str) -> Program:
+        """The app's program, memoised; :class:`UnknownApp` if unserved."""
+        program = self._programs.get(app)
+        if program is None:
+            try:
+                program = self._resolve_program(app)
+            except (KeyError, ValueError) as error:
+                raise UnknownApp(f"service does not serve app {app!r}") from error
+            self._programs[app] = program
+        return program
+
+    def ingest(
+        self, session: ClientSession, seq: Optional[int], blob: bytes
+    ) -> int:
+        """Validate one shard frame and apply it; returns events ingested.
+
+        Raises :class:`BadShard` on a malformed blob, an out-of-order
+        sequence number, or block ids outside the app's program — and
+        counts the rejection before re-raising, so chaos tests can watch
+        rejected shards never reach the profile store.
+        """
+        try:
+            if seq != session.next_seq:
+                raise BadShard(
+                    f"out-of-order shard: expected seq {session.next_seq}, "
+                    f"got {seq!r}"
+                )
+            block_ids, taken = unpack_shard_blob(blob)
+            program = self.program_for(session.app)
+            n_blocks = len(program.block_sizes)
+            if len(block_ids) and (
+                int(block_ids.min()) < 0 or int(block_ids.max()) >= n_blocks
+            ):
+                raise BadShard(
+                    f"block id out of range for app {session.app!r} "
+                    f"(program has {n_blocks} blocks)"
+                )
+        except BadShard:
+            self.shards_rejected += 1
+            obs.add("serve.ingest.rejected")
+            raise
+
+        profile = self.profiles.ensure_app(session.app, program)
+        profile.ingest(
+            np.ascontiguousarray(block_ids, dtype=np.int32),
+            np.ascontiguousarray(taken, dtype=bool),
+        )
+        session.next_seq = (seq or 0) + 1
+        session.shards += 1
+        session.events += len(block_ids)
+        self.shards_accepted += 1
+        self.events_accepted += len(block_ids)
+        obs.add("serve.ingest.shards")
+        obs.add("serve.ingest.events", int(len(block_ids)))
+        return int(len(block_ids))
+
+    def status(self) -> dict:
+        """JSON-safe ingestion counters for ``repro serve status``."""
+        return {
+            "shards_accepted": self.shards_accepted,
+            "shards_rejected": self.shards_rejected,
+            "events_accepted": self.events_accepted,
+        }

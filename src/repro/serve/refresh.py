@@ -1,0 +1,238 @@
+"""Incremental formula re-search for drifted branches.
+
+The refresh engine is the service's bridge back into the offline
+Whisper pipeline (:mod:`repro.core`): it re-runs Algorithm-1 formula
+search *only* for the branches the drift detector flagged, as one
+supervised task per branch through the existing
+:class:`repro.orchestrator.scheduler.TaskGraph` — so a hung or crashed
+search inherits the scheduler's per-attempt timeouts, retries with
+deterministic backoff, and ``REPRO_FAULTS`` injection, instead of
+taking the whole service down.
+
+The first refresh of an app (no published hints yet) is a *full* train
+over the rolling profile — the bootstrap publish.  Every later refresh
+is incremental: undrifted branches keep their existing hints verbatim,
+drifted branches are re-searched and either replaced, kept, or dropped
+(when the fresh profile says the dynamic predictor now does fine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..core.search import FormulaSearch, SearchResult
+from ..core.training import BranchTrainingData, collect_training_data, select_candidates
+from ..core.whisper import TrainedBranch, WhisperConfig
+from ..orchestrator.scheduler import RetryPolicy, TaskGraph
+from ..profiling.profile import BranchProfile
+from ..profiling.trace import Trace
+
+
+def _train_one_branch(
+    config: WhisperConfig,
+    data: BranchTrainingData,
+    baseline_mispredictions: int,
+) -> Optional[TrainedBranch]:
+    """Module-level per-branch search task (picklable for any backend).
+
+    Replicates :meth:`repro.core.whisper.WhisperOptimizer._train_branch`:
+    per candidate history length, run the formula search, score with the
+    complexity penalty, and accept only a clear win over the profiled
+    baseline predictor.
+    """
+    search = FormulaSearch(
+        n_inputs=config.hash_bits,
+        ops_allowed=config.ops,
+        with_invert=config.with_invert,
+        fraction=config.explore_fraction,
+        include_bias=config.include_bias,
+        seed=config.seed,
+    )
+    penalty = config.complexity_penalty
+    best: Optional[Tuple[int, int, SearchResult]] = None
+    best_score = float("inf")
+    for index, length in enumerate(config.lengths()):
+        taken, nottaken = data.tables_for(length)
+        result = search.find_best_formula(taken, nottaken)
+        keys = len(taken.keys() | nottaken.keys())
+        score = result.mispredictions + (
+            0.0 if result.is_bias else penalty * keys
+        )
+        if score < best_score:
+            best = (index, length, result)
+            best_score = score
+    if best is None:
+        return None
+    index, length, result = best
+    if best_score >= baseline_mispredictions * config.acceptance_margin:
+        return None
+    return TrainedBranch(
+        pc=data.pc,
+        length=length,
+        length_index=index,
+        result=result,
+        baseline_mispredictions=baseline_mispredictions,
+        executions=data.executions,
+    )
+
+
+@dataclass
+class RefreshOutcome:
+    """What one refresh pass did for one app."""
+
+    app: str
+    full_train: bool
+    #: PCs the drift detector flagged (empty on the bootstrap train).
+    drifted_pcs: List[int] = field(default_factory=list)
+    #: PCs actually re-searched (drifted ∩ profile candidates).
+    searched_pcs: List[int] = field(default_factory=list)
+    #: Search verdict per searched PC: an accepted hint, or None when
+    #: the fresh profile says the dynamic predictor now suffices.
+    trained: Dict[int, Optional[TrainedBranch]] = field(default_factory=dict)
+    search_task_records: List[object] = field(default_factory=list)
+
+    @property
+    def n_searched(self) -> int:
+        return len(self.searched_pcs)
+
+    @property
+    def hints(self) -> Dict[int, TrainedBranch]:
+        """The accepted hints among the searched branches."""
+        return {pc: t for pc, t in self.trained.items() if t is not None}
+
+
+class RefreshEngine:
+    """Runs drift-scoped formula search through the supervised scheduler."""
+
+    def __init__(
+        self,
+        config: Optional[WhisperConfig] = None,
+        predictor_factory: Optional[Callable[[], object]] = None,
+        policy: Optional[RetryPolicy] = None,
+        jobs: int = 1,
+    ) -> None:
+        from ..bpu.scaling import scaled_tage_sc_l  # deferred: import cycle
+
+        self.config = config or WhisperConfig()
+        self.predictor_factory = predictor_factory or (
+            lambda: scaled_tage_sc_l(64)
+        )
+        #: jobs=1 runs tasks inline in deterministic topological order —
+        #: the publish-determinism default; raise for wall-clock.
+        self.jobs = jobs
+        self.policy = policy or RetryPolicy(retries=2, timeout=120.0)
+
+    # ------------------------------------------------------------------
+    def _profile(self, trace: Trace) -> BranchProfile:
+        """Baseline accuracy of the rolling profile (the LBR role)."""
+        return BranchProfile.collect([trace], self.predictor_factory)
+
+    def _search_graph(
+        self,
+        app: str,
+        pcs: List[int],
+        data: Dict[int, BranchTrainingData],
+        profile: BranchProfile,
+    ) -> Tuple[TaskGraph, Dict[str, int]]:
+        """One supervised ``search:`` task per branch to re-analyse."""
+        graph = TaskGraph()
+        pc_of_task: Dict[str, int] = {}
+        for pc in pcs:
+            name = f"search:{app}:{pc:#x}"
+            graph.add(
+                name,
+                _train_one_branch,
+                args=(self.config, data[pc], profile.per_pc[pc][1]),
+                kind="serve-search",
+                app=app,
+            )
+            pc_of_task[name] = pc
+        return graph, pc_of_task
+
+    def _run_searches(
+        self,
+        app: str,
+        pcs: List[int],
+        data: Dict[int, BranchTrainingData],
+        profile: BranchProfile,
+        outcome: RefreshOutcome,
+    ) -> Dict[int, Optional[TrainedBranch]]:
+        """Execute the search graph; map pc -> accepted hint (or None)."""
+        graph, pc_of_task = self._search_graph(app, pcs, data, profile)
+        records = graph.run(jobs=self.jobs, policy=self.policy)
+        outcome.search_task_records = records
+        trained: Dict[int, Optional[TrainedBranch]] = {}
+        for record in records:
+            pc = pc_of_task.get(record.name)
+            if pc is None:
+                continue
+            if record.status != "done":
+                raise RuntimeError(
+                    f"search task {record.name} failed after retries: "
+                    f"{record.error or record.status}"
+                )
+            trained[pc] = record.result
+            obs.add("serve.refresh.searched")
+        return trained
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, app: str, trace: Trace) -> RefreshOutcome:
+        """Full first-time train over the rolling profile."""
+        with obs.span("serve.refresh", app=app, mode="bootstrap"):
+            profile = self._profile(trace)
+            candidates = select_candidates(
+                profile.per_pc,
+                min_mispredictions=self.config.min_mispredictions,
+                min_executions=self.config.min_executions,
+                max_candidates=self.config.max_candidates,
+            )
+            data = collect_training_data(
+                [trace], candidates, self.config.lengths(),
+                self.config.hash_bits, self.config.hash_op,
+            )
+            outcome = RefreshOutcome(app=app, full_train=True)
+            outcome.searched_pcs = sorted(candidates)
+            outcome.trained = self._run_searches(
+                app, outcome.searched_pcs, data, profile, outcome
+            )
+        return outcome
+
+    def refresh(
+        self, app: str, trace: Trace, drifted_pcs: List[int]
+    ) -> RefreshOutcome:
+        """Incremental refresh: re-search *only* the drifted branches.
+
+        Undrifted branches are never touched (the caller keeps their
+        published entries verbatim); drifted branches get a fresh
+        profile-and-search pass, and each comes back either accepted
+        (a replacement/new hint) or rejected (``None`` — the dynamic
+        predictor handles the branch's new behaviour).
+        """
+        with obs.span("serve.refresh", app=app, mode="incremental"):
+            outcome = RefreshOutcome(app=app, full_train=False)
+            outcome.drifted_pcs = sorted(drifted_pcs)
+            if not drifted_pcs:
+                return outcome
+
+            profile = self._profile(trace)
+            # Only branches the fresh profile still considers worth the
+            # candidate thresholds are re-searched; a drifted branch that
+            # went cold simply loses its stale hint.
+            candidates = select_candidates(
+                profile.per_pc,
+                min_mispredictions=self.config.min_mispredictions,
+                min_executions=self.config.min_executions,
+                max_candidates=None,
+            )
+            searchable = sorted(set(drifted_pcs) & set(candidates))
+            outcome.searched_pcs = searchable
+            data = collect_training_data(
+                [trace], searchable, self.config.lengths(),
+                self.config.hash_bits, self.config.hash_op,
+            )
+            outcome.trained = self._run_searches(
+                app, searchable, data, profile, outcome
+            )
+        return outcome

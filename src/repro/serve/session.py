@@ -1,0 +1,104 @@
+"""Lease-style client sessions for the hint service.
+
+The same machinery the cluster coordinator uses for workers, adapted to
+profiling clients: a session is *leased*, renewed implicitly by any
+message, and expired by a sweep when the client goes silent — so a
+fleet of thousands of clients can churn without the service leaking
+state.  Unlike a worker lease there is nothing to re-queue on expiry;
+an expired client's already-ingested shards stay counted (profile data
+is append-only), only its session bookkeeping is dropped.
+
+The table itself is not thread-safe; the service serializes access
+under its one lock, exactly as the coordinator does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .contracts import SessionExpired
+
+#: A client silent for this many seconds loses its session.
+DEFAULT_LEASE_SECONDS = 15.0
+
+
+@dataclass
+class ClientSession:
+    """Bookkeeping for one connected profiling client."""
+
+    client_id: str
+    app: str
+    last_seen: float = field(default_factory=time.monotonic)
+    #: Next expected shard sequence number (shards arrive in order).
+    next_seq: int = 0
+    shards: int = 0
+    events: int = 0
+    departed: bool = False
+
+    def touch(self) -> None:
+        """Renew the lease: any message proves the client is alive."""
+        self.last_seen = time.monotonic()
+
+
+class SessionTable:
+    """Leased sessions keyed by client id, with a silence sweep."""
+
+    def __init__(self, lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+        self.lease_seconds = lease_seconds
+        self._sessions: Dict[str, ClientSession] = {}
+        self.expired_total = 0
+        self.departed_total = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def register(self, client_id: str, app: str) -> ClientSession:
+        """Create (or replace — a reconnect) the session for a client."""
+        session = ClientSession(client_id=client_id, app=app)
+        self._sessions[client_id] = session
+        return session
+
+    def get(self, client_id: Optional[str]) -> ClientSession:
+        """The live session for a client; raises :class:`SessionExpired`
+        when the client never said hello or its lease lapsed."""
+        session = self._sessions.get(client_id or "")
+        if session is None:
+            raise SessionExpired(f"no session for client {client_id!r}")
+        session.touch()
+        return session
+
+    def depart(self, client_id: Optional[str]) -> None:
+        """Clean goodbye: drop the session without counting an expiry."""
+        session = self._sessions.pop(client_id or "", None)
+        if session is not None:
+            session.departed = True
+            self.departed_total += 1
+
+    def sweep(self) -> List[ClientSession]:
+        """Expire every session silent past the lease; returns them."""
+        now = time.monotonic()
+        expired = [
+            session
+            for session in self._sessions.values()
+            if now - session.last_seen > self.lease_seconds
+        ]
+        for session in expired:
+            del self._sessions[session.client_id]
+            self.expired_total += 1
+        return expired
+
+    def snapshot(self) -> List[dict]:
+        """JSON-safe per-session view for ``repro serve status``."""
+        return [
+            {
+                "client": session.client_id,
+                "app": session.app,
+                "shards": session.shards,
+                "events": session.events,
+            }
+            for session in sorted(
+                self._sessions.values(), key=lambda s: s.client_id
+            )
+        ]

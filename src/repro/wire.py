@@ -1,0 +1,135 @@
+"""Length-prefixed JSON-over-TCP framing shared by every network layer.
+
+One frame is::
+
+    !II header  (json_length, blob_length)
+    json_length bytes of UTF-8 JSON   — the control message
+    blob_length bytes of raw payload  — optional (sealed artifacts)
+
+Keeping the blob outside the JSON means artifact bytes cross the wire
+exactly as they sit on disk — checksum footer and all — so the receiver
+can re-verify integrity without re-encoding, and a multi-megabyte trace
+never needs base64.
+
+Every exchange is strict request/response over a single long-lived
+connection per peer; there is no pipelining, so ``request`` (send one
+frame, read one frame) is the whole client API.  A clean EOF *between*
+frames raises :class:`ConnectionClosed`; anything torn mid-frame raises
+:class:`ProtocolError` — callers treat both as a dead peer.
+
+Both ``repro.cluster`` (coordinator/worker) and ``repro.serve`` (the
+continuous hint service) speak this framing; each layer keeps its own
+``PROTOCOL_VERSION`` for its hello exchange while the byte format lives
+here, once.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+#: Header: (json_length, blob_length), network byte order.
+_HEADER = struct.Struct("!II")
+
+#: Sanity ceilings — a corrupt header must not trigger a giant alloc.
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+MAX_BLOB_BYTES = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not parse as a frame."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection at a frame boundary."""
+
+
+def _json_default(obj: object) -> object:
+    """Make numpy scalars (task stats) JSON-serializable."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"cannot serialize {type(obj).__name__} on the wire")
+
+
+def send_frame(sock: socket.socket, message: dict, blob: bytes = b"") -> None:
+    """Write one frame; raises ``OSError`` if the peer is gone."""
+    encoded = json.dumps(message, default=_json_default).encode("utf-8")
+    if len(encoded) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message too large ({len(encoded)} bytes)")
+    if len(blob) > MAX_BLOB_BYTES:
+        raise ProtocolError(f"blob too large ({len(blob)} bytes)")
+    sock.sendall(_HEADER.pack(len(encoded), len(blob)) + encoded + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool = False) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF before the first byte
+    (only when ``eof_ok``), :class:`ProtocolError` on a torn read."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[dict, bytes]:
+    """Read one frame; raises :class:`ConnectionClosed` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        raise ConnectionClosed("peer closed the connection")
+    json_length, blob_length = _HEADER.unpack(header)
+    if json_length > MAX_MESSAGE_BYTES or blob_length > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"frame header out of range ({json_length}, {blob_length})"
+        )
+    encoded = _recv_exact(sock, json_length) if json_length else b""
+    blob = _recv_exact(sock, blob_length) if blob_length else b""
+    try:
+        message = json.loads(encoded.decode("utf-8")) if encoded else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame is not an object: {message!r}")
+    return message, blob
+
+
+def request(sock: socket.socket, message: dict, blob: bytes = b"") -> Tuple[dict, bytes]:
+    """One strict request/response round trip."""
+    send_frame(sock, message, blob)
+    return recv_frame(sock)
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; raises ``ValueError`` on junk."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port in {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in {text!r}")
+    return host, port
+
+
+def connect(address: Tuple[str, int], timeout: Optional[float] = None) -> socket.socket:
+    """TCP connection with ``TCP_NODELAY`` (small control frames must
+    not wait on Nagle) and no lingering read timeout once established."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not fatal on exotic transports
+    return sock

@@ -12,6 +12,7 @@ from .behaviors import (
     SparseHistoryBehavior,
     describe,
 )
+from .drifting import DriftingTrace, generate_drifting_trace, phase_overrides
 from .generator import clear_caches, generate_trace, get_program, merged_traces
 from .program import INSTRUCTION_BYTES, Function, Program, build_program
 from .registry import (
@@ -36,6 +37,7 @@ __all__ = [
     "check_workload", "WorkloadHealth", "RecurrenceReport",
     "context_recurrence", "history_entropy", "Program", "Function", "build_program", "INSTRUCTION_BYTES",
     "generate_trace", "get_program", "merged_traces", "clear_caches",
+    "DriftingTrace", "generate_drifting_trace", "phase_overrides",
     "DATACENTER_APPS", "SPEC_APPS", "WORKLOAD_OF_APP",
     "datacenter_specs", "spec_benchmark_specs", "get_spec",
     "Behavior", "BiasedBehavior", "BurstyBehavior", "FormulaBehavior",

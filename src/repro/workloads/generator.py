@@ -421,13 +421,21 @@ def generate_trace(
     n_events: int = 200_000,
     use_cache: bool = True,
     kernel: Optional[str] = None,
+    behavior_overrides: Optional[Dict[int, object]] = None,
 ) -> Trace:
     """Generate (or fetch) the dynamic trace for one (app, input) pair.
 
     ``kernel`` selects the event-walk implementation (``"scalar"`` /
     ``"vector"``); both produce identical traces, so the cache key does
     not include it.  ``None`` defers to :func:`repro.bpu.runner.resolve_kernel`.
+
+    ``behavior_overrides`` (block id -> behaviour) is applied on top of
+    the per-input drift draws — the hook :mod:`repro.workloads.drifting`
+    uses to rotate branch models mid-stream.  Overridden traces are
+    never cached: the cache key identifies the *canonical* behaviours.
     """
+    if behavior_overrides:
+        use_cache = False
     key = (spec.name, spec.seed, input_id, n_events)
     if use_cache and key in _trace_cache:
         return _trace_cache[key]
@@ -443,6 +451,9 @@ def generate_trace(
     behaviors = list(program.behaviors)
     for block, replacement in overrides.items():
         behaviors[block] = replacement
+    if behavior_overrides:
+        for block, replacement in behavior_overrides.items():
+            behaviors[block] = replacement
 
     rng = _input_rng(spec, input_id, salt=2)
     n_requests = max(1, len(program.requests))

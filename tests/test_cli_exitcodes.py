@@ -116,3 +116,44 @@ class TestCacheVerifyExitCode:
         )
         assert rescan.returncode == 0
         assert "0 corrupt" in rescan.stdout
+
+
+class TestConnectionRefusedExitCodes:
+    """Typed connection errors exit 1; malformed addresses exit 2 —
+    consistently across the cluster worker and the serve commands."""
+
+    REFUSED = "127.0.0.1:1"  # reserved port: connect() is refused fast
+
+    def test_serve_status_refused_exits_1(self):
+        result = _repro("serve", "status", "--connect", self.REFUSED)
+        assert result.returncode == 1, result.stdout
+        assert "unreachable" in result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_serve_drive_refused_exits_1(self):
+        result = _repro(
+            "serve", "drive", "--connect", self.REFUSED,
+            "--app", "clang", "--events", "2000", "--clients", "1",
+        )
+        assert result.returncode == 1, result.stdout
+        assert "unreachable" in result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_serve_bad_address_exits_2(self):
+        result = _repro("serve", "status", "--connect", "not-an-address")
+        assert result.returncode == 2, result.stdout
+        assert "HOST:PORT" in result.stdout
+
+    def test_cluster_worker_refused_exits_1(self, tmp_path):
+        result = _repro(
+            "cluster", "worker", "--coordinator", self.REFUSED,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--connect-window", "0.5",
+            timeout=60,
+        )
+        assert result.returncode == 1, result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_serve_unknown_subcommand_exits_2(self):
+        result = _repro("serve", "bogus")
+        assert result.returncode == 2, result.stdout

@@ -160,3 +160,63 @@ class TestSealedBlobShipping:
         assert read_sealed_blob(store, "trace", "k1") is None
         assert not path.exists()  # moved to quarantine
         assert list((tmp_path / "cache" / "quarantine").rglob("*"))
+
+
+class TestSharedWire:
+    """The framing is one shared module (`repro.wire`), not a copy.
+
+    `repro.cluster.protocol` and `repro.serve` must speak literally the
+    same bytes; these tests pin the re-export identity and the edge
+    cases the serve layer newly leans on (zero-length blobs, blob-size
+    limits, frames torn mid-blob).
+    """
+
+    def test_cluster_protocol_reexports_repro_wire(self):
+        from repro import wire
+
+        assert protocol.send_frame is wire.send_frame
+        assert protocol.recv_frame is wire.recv_frame
+        assert protocol.request is wire.request
+        assert protocol.parse_address is wire.parse_address
+        assert protocol.connect is wire.connect
+        assert protocol.ProtocolError is wire.ProtocolError
+        assert protocol.ConnectionClosed is wire.ConnectionClosed
+        assert protocol.MAX_MESSAGE_BYTES == wire.MAX_MESSAGE_BYTES
+        assert protocol.MAX_BLOB_BYTES == wire.MAX_BLOB_BYTES
+
+    def test_zero_length_blob_roundtrip(self, pair):
+        # An explicit empty blob and no blob are the same frame.
+        left, right = pair
+        protocol.send_frame(left, {"op": "shard", "seq": 0}, b"")
+        message, blob = protocol.recv_frame(right)
+        assert message == {"op": "shard", "seq": 0}
+        assert blob == b""
+
+    def test_oversize_blob_header_rejected_without_alloc(self, pair):
+        left, right = pair
+        left.sendall(
+            struct.pack("!II", 2, protocol.MAX_BLOB_BYTES + 1) + b"{}"
+        )
+        with pytest.raises(protocol.ProtocolError, match="out of range"):
+            protocol.recv_frame(right)
+
+    def test_eof_mid_blob_is_a_protocol_error(self, pair):
+        # The header promised 1000 blob bytes; the peer died after 10.
+        # The partial shard must never surface as a short-but-valid blob.
+        left, right = pair
+        body = b'{"op": "shard"}'
+        left.sendall(
+            struct.pack("!II", len(body), 1000) + body + b"\x00" * 10
+        )
+        left.close()
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.recv_frame(right)
+        assert not isinstance(excinfo.value, protocol.ConnectionClosed)
+
+    def test_partial_header_then_eof_is_a_protocol_error(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # 2 of the 8 header bytes
+        left.close()
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.recv_frame(right)
+        assert not isinstance(excinfo.value, protocol.ConnectionClosed)
