@@ -1,19 +1,31 @@
-"""Tracked scalar-vs-vector kernel benchmark (``repro bench``).
+"""Tracked scalar/vector/native kernel benchmark (``repro bench``).
 
-Measures throughput of every replay layer that gained a vectorised
+Measures throughput of every replay layer that gained a batched
 kernel — trace generation, predictor replay (cold and batch-warm) and
-the timing simulator — under both kernels, and appends one timestamped
-row per invocation to a JSON history file (``benchmarks/perf/
-BENCH_kernels.json`` by default).  The committed history doubles as the
-CI perf-smoke baseline: absolute events/sec is machine-dependent, but
-the *vector/scalar speedup ratio* is not, so the smoke job compares
-measured speedups against the baseline row and fails on a >30%
-regression.
+the timing simulator — under all kernel tiers, and appends one
+timestamped row per invocation to a JSON history file
+(``benchmarks/perf/BENCH_kernels.json`` by default).  Predictors with a
+JIT-compiled native kernel (:mod:`repro.bpu.native`) additionally get
+``native_cold_s``/``native_s`` timings and a ``speedup_native_vs_vector``
+ratio; each row records environment provenance (numba version or
+``"absent"``, CPU count, the active native backend) so cross-machine
+trajectory comparisons stay interpretable.
+
+The committed history doubles as the CI perf-smoke baseline, with two
+kinds of ratchet.  Speedup *ratios* (vector/scalar and native/vector)
+factor out the host's absolute speed, so they are compared tightly
+(:data:`REGRESSION_TOLERANCE`).  Absolute events-per-second is
+machine-dependent, so it gets a loose floor (:data:`ABS_TOLERANCE`)
+that still catches order-of-magnitude collapses — a tier silently
+falling back to a slower one, or a kernel degenerating to the scalar
+path.  Native comparisons are skipped (not failed) when either side of
+the comparison lacks native numbers, e.g. when no C toolchain exists.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -29,6 +41,12 @@ DEFAULT_BENCH_PATH = "benchmarks/perf/BENCH_kernels.json"
 #: fraction of the baseline speedup (>30% events/sec regression).
 REGRESSION_TOLERANCE = 0.70
 
+#: Absolute events/s tolerance: fail when a tier's throughput drops
+#: below this fraction of the baseline row's.  Deliberately loose —
+#: hosts differ — but tight enough to catch a tier collapsing onto a
+#: slower implementation (native→vector is ~20×, vector→scalar 2–70×).
+ABS_TOLERANCE = 0.35
+
 #: Benchmarks whose speedups participate in the regression check.
 CHECKED_BENCHMARKS = (
     "trace_gen",
@@ -36,6 +54,13 @@ CHECKED_BENCHMARKS = (
     "replay_tage_sc_l",
     "replay_gshare",
     "timing_fdip",
+)
+
+#: Benchmarks with a native kernel, checked native-vs-vector as well.
+NATIVE_CHECKED = (
+    "replay_tage",
+    "replay_tage_sc_l",
+    "replay_perceptron",
 )
 
 
@@ -98,9 +123,12 @@ def run_bench(
     )
     record("trace_gen", scalar_gen, vector_gen, n_events)
 
+    from ..bpu import native
+
     trace = generate_trace(spec, 0, n_events)
     factories = _predictor_factories()
     names = predictors if predictors is not None else list(factories)
+    has_native = native.native_available()
     for name in names:
         factory = factories[name]
         scalar_s = _time(lambda: runner.simulate(trace, factory(), kernel="scalar"))
@@ -110,6 +138,28 @@ def run_bench(
         warm_s = _time(lambda: runner.simulate(trace, factory(), kernel="vector"))
         record(f"replay_{name}", scalar_s, warm_s, n_events)
         results[f"replay_{name}"]["vector_cold_s"] = round(cold_s, 4)
+        if has_native and native.native_kernel_for(factory()) is not None:
+            # Cold includes JIT library load + native-only column prep.
+            runner._BATCH_CACHE.clear()
+            native_cold_s = _time(
+                lambda: runner.simulate(trace, factory(), kernel="native")
+            )
+            native_s = _time(
+                lambda: runner.simulate(trace, factory(), kernel="native")
+            )
+            entry = results[f"replay_{name}"]
+            entry["native_cold_s"] = round(native_cold_s, 4)
+            entry["native_s"] = round(native_s, 4)
+            entry["speedup_native_vs_vector"] = (
+                round(warm_s / native_s, 2) if native_s > 0 else None
+            )
+            entry["events_per_s_native"] = (
+                int(n_events / native_s) if native_s > 0 else None
+            )
+            log(
+                f"  {'replay_' + name:20s} native {native_s:7.3f}s"
+                f"  native-vs-vector {warm_s / native_s:6.1f}x"
+            )
 
     prediction = runner.simulate(trace, factories["tage_sc_l"]())
     config = SimConfig()
@@ -139,6 +189,9 @@ def run_bench(
         "n_events": n_events,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "numba": native.numba_version(),
+        "cpu_count": os.cpu_count(),
+        "native_backend": native.backend_name() or "absent",
         "results": results,
     }
 
@@ -156,24 +209,67 @@ def append_row(path: pathlib.Path, row: Dict) -> List[Dict]:
     return history
 
 
+def _check_metric(
+    name: str,
+    metric: str,
+    row: Dict,
+    baseline: Dict,
+    tolerance: float,
+    unit: str,
+    log: Callable[[str], None],
+) -> Optional[bool]:
+    """One ratchet comparison; None when either side lacks the metric."""
+    base = baseline.get("results", {}).get(name, {}).get(metric)
+    got = row.get("results", {}).get(name, {}).get(metric)
+    if base is None or got is None:
+        return None
+    floor = tolerance * base
+    ok = got >= floor
+    status = "ok" if ok else "REGRESSION"
+    log(
+        f"  {name:20s} {metric:24s} {got:>12,.2f}{unit} vs baseline "
+        f"{base:>12,.2f}{unit} (floor {floor:>12,.2f}{unit}) {status}"
+    )
+    return ok
+
+
 def check_regression(
     row: Dict, baseline: Dict, log: Callable[[str], None] = print
 ) -> bool:
-    """Compare ``row`` speedups against ``baseline``; True when healthy.
+    """Compare ``row`` against ``baseline``; True when healthy.
 
-    Only the speedup *ratio* is compared — it factors out the host's
-    absolute speed, which is what lets a committed baseline gate CI runs
-    on unknown hardware.
+    Two ratchet families run per benchmark.  Speedup *ratios*
+    (vector/scalar, and native/vector for :data:`NATIVE_CHECKED`) factor
+    out the host's absolute speed and are held to
+    :data:`REGRESSION_TOLERANCE`.  Absolute events-per-second gets the
+    looser :data:`ABS_TOLERANCE` floor that still catches a tier
+    collapsing onto a slower implementation.  Native comparisons where
+    either the row or the baseline lacks native numbers (no C toolchain
+    on one of the hosts) are skipped, not failed.
     """
     healthy = True
     for name in CHECKED_BENCHMARKS:
-        base = baseline.get("results", {}).get(name, {}).get("speedup")
-        got = row.get("results", {}).get(name, {}).get("speedup")
-        if base is None or got is None:
-            continue
-        floor = REGRESSION_TOLERANCE * base
-        status = "ok" if got >= floor else "REGRESSION"
-        log(f"  {name:20s} speedup {got:6.2f}x vs baseline {base:6.2f}x (floor {floor:5.2f}x) {status}")
-        if got < floor:
+        ok = _check_metric(
+            name, "speedup", row, baseline, REGRESSION_TOLERANCE, "x", log
+        )
+        if ok is False:
             healthy = False
+        ok = _check_metric(
+            name, "events_per_s_vector", row, baseline, ABS_TOLERANCE, "", log
+        )
+        if ok is False:
+            healthy = False
+    for name in NATIVE_CHECKED:
+        skipped = True
+        for metric, tolerance, unit in (
+            ("speedup_native_vs_vector", REGRESSION_TOLERANCE, "x"),
+            ("events_per_s_native", ABS_TOLERANCE, ""),
+        ):
+            ok = _check_metric(name, metric, row, baseline, tolerance, unit, log)
+            if ok is not None:
+                skipped = False
+            if ok is False:
+                healthy = False
+        if skipped:
+            log(f"  {name:20s} native ratchet skipped (no native numbers)")
     return healthy

@@ -30,7 +30,10 @@ _HISTORY_BITS = 1024
 _HISTORY_MASK = (1 << _HISTORY_BITS) - 1
 
 #: Replay kernel implementations selectable per call / via environment.
-VALID_KERNELS = ("scalar", "vector")
+#: ``scalar`` is the bit-identical per-event oracle, ``vector`` the
+#: portable SoA batch tier, ``native`` the JIT-compiled tier (falls back
+#: to ``vector`` with a warning when no C toolchain is available).
+VALID_KERNELS = ("scalar", "vector", "native")
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 DEFAULT_KERNEL = "vector"
 
@@ -343,14 +346,21 @@ def _get_batch(trace: Trace):
     return batch
 
 
-def _simulate_vector(
+def _simulate_batched(
     trace: Trace,
     predictor: BranchPredictor,
     runtime: Optional[HintRuntime],
     suppress_hint_allocation: bool,
+    native_ok: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Two-stage vector replay: batched hint pre-pass, then a fused
-    predictor kernel over SoA columns (see :mod:`repro.bpu.vector`)."""
+    """Two-stage batched replay: a vectorized hint pre-pass, then a fused
+    predictor kernel over SoA columns (see :mod:`repro.bpu.vector`).
+
+    With ``native_ok`` the JIT-compiled kernels from
+    :mod:`repro.bpu.native` are preferred when available; predictors (or
+    environments) without one fall back to the vector kernels, which are
+    bit-identical by construction.
+    """
     from .vector import kernel_for
 
     predictor.reset()
@@ -371,7 +381,13 @@ def _simulate_vector(
                 result = _scalar_hint_pass(trace, runtime)
             hinted, hint_preds = result
 
-    kernel_fn = kernel_for(predictor)
+    kernel_fn = None
+    if native_ok:
+        from .native import native_kernel_for
+
+        kernel_fn = native_kernel_for(predictor)
+    if kernel_fn is None:
+        kernel_fn = kernel_for(predictor)
     kernel_name = kernel_fn.__name__ if kernel_fn is not None else "_scalar_replay"
     with obs.span("replay.kernel", kernel=kernel_name, n=batch.n):
         if kernel_fn is None:
@@ -399,10 +415,12 @@ def simulate(
     hinted branches do not allocate predictor entries (ablation study).
 
     ``kernel`` selects the replay implementation: ``"vector"`` (default)
-    runs the SoA batch kernels from :mod:`repro.bpu.vector`, ``"scalar"``
-    the original per-event reference loop.  Both produce bit-identical
-    predictions (enforced by tests); ``REPRO_KERNEL=scalar`` flips the
-    session default as an escape hatch.
+    runs the SoA batch kernels from :mod:`repro.bpu.vector`, ``"native"``
+    the JIT-compiled tier from :mod:`repro.bpu.native` (degrading to
+    vector when no backend is available), and ``"scalar"`` the original
+    per-event reference loop.  All tiers produce bit-identical
+    predictions (enforced by the three-way equivalence suite);
+    ``REPRO_KERNEL`` flips the session default as an escape hatch.
     """
     mode = resolve_kernel(kernel)
     with obs.span(
@@ -413,9 +431,13 @@ def simulate(
         n_events=trace.n_events,
         runtime=type(runtime).__name__ if runtime is not None else "",
     ):
-        if mode == "vector":
-            correct, hinted, cond_event_indices = _simulate_vector(
-                trace, predictor, runtime, suppress_hint_allocation
+        if mode != "scalar":
+            correct, hinted, cond_event_indices = _simulate_batched(
+                trace,
+                predictor,
+                runtime,
+                suppress_hint_allocation,
+                native_ok=(mode == "native"),
             )
         else:
             correct, hinted, cond_event_indices = _simulate_scalar(

@@ -433,6 +433,138 @@ def _replay_perceptron(predictor, batch, hinted, hint_preds, suppress):
 # ----------------------------------------------------------------------
 # TAGE family
 # ----------------------------------------------------------------------
+def _tage_geometry_key(tage) -> tuple:
+    """Cache-key fields of everything the TAGE columns depend on."""
+    return (
+        tage.log_entries,
+        tage.tag_bits,
+        tage._bimodal_mask,
+        tuple(tage.histories),
+    )
+
+
+def tage_column_arrays(tage, batch: ReplayBatch):
+    """Trace-pure TAGE index/tag columns for one table geometry.
+
+    Returns ``(idx_cols, tag_cols, bim_col, fold_finals)``: per tagged
+    table, the entry index and computed tag before every conditional
+    branch (int64 arrays), the bimodal index column, and the post-run
+    folded-register values for predictor write-back.  Shared by the
+    vector and native kernel tiers (cached per batch).
+    """
+
+    def build():
+        entry_mask = tage._entry_mask
+        tag_mask = tage._tag_mask
+        log_entries = tage.log_entries
+        pc2 = batch.pcs >> 2
+        idx_cols, tag_cols, fold_finals = [], [], []
+        widths = (log_entries, tage.tag_bits, max(1, tage.tag_bits - 1))
+        for i, h in enumerate(tage.histories):
+            (f_idx, f_tag0, f_tag1), finals = batch.folded_columns(h, widths)
+            idx_cols.append(
+                (pc2 ^ (pc2 >> (log_entries - i % 4)) ^ f_idx) & entry_mask
+            )
+            tag_cols.append((pc2 ^ f_tag0 ^ (f_tag1 << 1)) & tag_mask)
+            fold_finals.append(finals)
+        bim_col = pc2 & tage._bimodal_mask
+        return idx_cols, tag_cols, bim_col, fold_finals
+
+    return batch.cached(("tage-cols-arrays",) + _tage_geometry_key(tage), build)
+
+
+def _tage_column_lists(tage, batch: ReplayBatch):
+    """Flat-list view of the TAGE columns plus next-occurrence chains.
+
+    The per-branch Python loop of the vector kernel indexes flat lists
+    (scalar indexing beats ndarray here) and walks lazy tag-write
+    recheck markers through a next-same-index chain; both layers are
+    derived from :func:`tage_column_arrays` and cached separately so the
+    native tier never pays for them.
+    """
+
+    def build():
+        idx_cols, tag_cols, bim_col, _ = tage_column_arrays(tage, batch)
+        n = batch.n
+        # Flat per-table columns: most branches only touch the provider's
+        # entry (if any), so per-branch row lists would mostly go unread.
+        idx_lists = [col.tolist() for col in idx_cols]
+        tag_lists = [col.tolist() for col in tag_cols]
+        bim_idx = bim_col.tolist()
+        # Next occurrence of the same (table, index) pair, for the lazy
+        # tag-write recheck chains walked by the replay loop.
+        nxt_arrs = []
+        for col in idx_cols:
+            order = np.argsort(col, kind="stable")
+            nxt = np.full(n, n, dtype=np.int64)
+            if n > 1:
+                same = col[order[1:]] == col[order[:-1]]
+                nxt[order[:-1][same]] = order[1:][same]
+            nxt_arrs.append(nxt)
+        return idx_lists, tag_lists, bim_idx, nxt_arrs
+
+    return batch.cached(("tage-cols-lists",) + _tage_geometry_key(tage), build)
+
+
+def sc_column_arrays(sc, batch: ReplayBatch):
+    """Statistical-corrector index columns (int64 arrays), cached.
+
+    One column per corrector history length, derived from the 32-bit raw
+    history column (the corrector's GHR width).  Shared by the vector
+    and native kernel tiers.
+    """
+
+    def build():
+        ghr_col, _ = batch.raw_history_column(32)
+        pc2 = batch.pcs >> 2
+        cols = []
+        for length in sc.history_lengths:
+            if length == 0:
+                cols.append(pc2 & sc._mask)
+            else:
+                hist = ghr_col & ((1 << length) - 1)
+                folded = hist ^ (hist >> sc.log_entries)
+                cols.append((pc2 ^ folded ^ (folded << 3)) & sc._mask)
+        return cols
+
+    return batch.cached(
+        ("sc-cols-arrays", sc.log_entries, sc._mask, tuple(sc.history_lengths)),
+        build,
+    )
+
+
+def writeback_tage_state(
+    tage, batch: ReplayBatch, fold_finals, use_alt_ctr: int, tick: int, rand: int
+) -> None:
+    """Restore derived TAGE history/scalar state after a batched replay.
+
+    Kernels mutate the table contents in place; everything else — the
+    USE_ALT_ON_NA / tick / LCG scalars, the folded-history registers and
+    the global-history ring — is recomposed here from the batch so a
+    predictor that went through a batched kernel is indistinguishable
+    from one that replayed the scalar path.
+    """
+    tage._use_alt_on_na = use_alt_ctr
+    tage._tick = tick
+    tage._rand = rand
+    tage._last_pc = None
+    tage._last_state = None
+    for i in range(tage.n_tables):
+        f_idx, f_tag0, f_tag1 = fold_finals[i]
+        tage._fold_idx[i].comp = f_idx
+        tage._fold_tag0[i].comp = f_tag0
+        tage._fold_tag1[i].comp = f_tag1
+    # Rebuild the global-history ring from the trace tail.
+    n = batch.n
+    size = tage._hist_size
+    mask = size - 1
+    taken_arr = batch.taken
+    tage._hist_ptr = 0
+    hist = tage._hist
+    for d in range(1, size + 1):
+        hist[(1 - d) & mask] = int(taken_arr[n - d]) if n - d >= 0 else 0
+
+
 @register_kernel(TagePredictor, TageScLPredictor)
 def _replay_tage_family(predictor, batch, hinted, hint_preds, suppress):
     """Fused TAGE / TAGE-SC-L replay loop.
@@ -455,57 +587,9 @@ def _replay_tage_family(predictor, batch, hinted, hint_preds, suppress):
 
     n = batch.n
     n_tables = tage.n_tables
-    log_entries = tage.log_entries
-    tag_bits = tage.tag_bits
 
-    def build_tage_cols():
-        entry_mask = tage._entry_mask
-        tag_mask = tage._tag_mask
-        pc2 = batch.pcs >> 2
-        idx_cols, tag_cols, fold_finals = [], [], []
-        widths = (log_entries, tag_bits, max(1, tag_bits - 1))
-        for i, h in enumerate(tage.histories):
-            (f_idx, f_tag0, f_tag1), finals = batch.folded_columns(h, widths)
-            idx_cols.append(
-                (pc2 ^ (pc2 >> (log_entries - i % 4)) ^ f_idx) & entry_mask
-            )
-            tag_cols.append((pc2 ^ f_tag0 ^ (f_tag1 << 1)) & tag_mask)
-            fold_finals.append(finals)
-        # Flat per-table columns: most branches only touch the provider's
-        # entry (if any), so per-branch row lists would mostly go unread.
-        idx_lists = [col.tolist() for col in idx_cols]
-        tag_lists = [col.tolist() for col in tag_cols]
-        bim_idx = (pc2 & tage._bimodal_mask).tolist()
-        # Next occurrence of the same (table, index) pair, for the lazy
-        # tag-write recheck chains walked by the replay loop.
-        nxt_arrs = []
-        for col in idx_cols:
-            order = np.argsort(col, kind="stable")
-            nxt = np.full(n, n, dtype=np.int64)
-            if n > 1:
-                same = col[order[1:]] == col[order[:-1]]
-                nxt[order[:-1][same]] = order[1:][same]
-            nxt_arrs.append(nxt)
-        return idx_cols, tag_cols, idx_lists, tag_lists, bim_idx, nxt_arrs, fold_finals
-
-    (
-        idx_cols,
-        tag_cols,
-        idx_lists,
-        tag_lists,
-        bim_idx,
-        nxt_arrs,
-        fold_finals,
-    ) = batch.cached(
-        (
-            "tage-cols",
-            log_entries,
-            tag_bits,
-            tage._bimodal_mask,
-            tuple(tage.histories),
-        ),
-        build_tage_cols,
-    )
+    idx_cols, tag_cols, _bim_col, fold_finals = tage_column_arrays(tage, batch)
+    idx_lists, tag_lists, bim_idx, nxt_arrs = _tage_column_lists(tage, batch)
 
     ctrs = tage._ctrs
     tags = tage._tags
@@ -550,21 +634,9 @@ def _replay_tage_family(predictor, batch, hinted, hint_preds, suppress):
 
         ghr_col, ghr_final = batch.raw_history_column(32)
 
-        def build_sc_cols():
-            pc2 = batch.pcs >> 2
-            sc_idx_cols = []
-            for length in sc.history_lengths:
-                if length == 0:
-                    sc_idx_cols.append(pc2 & sc._mask)
-                else:
-                    hist = ghr_col & ((1 << length) - 1)
-                    folded = hist ^ (hist >> sc.log_entries)
-                    sc_idx_cols.append((pc2 ^ folded ^ (folded << 3)) & sc._mask)
-            return [col.tolist() for col in sc_idx_cols]
-
         sc_idx_lists = batch.cached(
-            ("sc-cols", sc.log_entries, sc._mask, tuple(sc.history_lengths)),
-            build_sc_cols,
+            ("sc-cols-lists", sc.log_entries, sc._mask, tuple(sc.history_lengths)),
+            lambda: [col.tolist() for col in sc_column_arrays(sc, batch)],
         )
 
         # Loop predictor inlined (see bpu/loop.py for the reference model).
@@ -788,24 +860,7 @@ def _replay_tage_family(predictor, batch, hinted, hint_preds, suppress):
             correct[j] = hint_ok[j] if hinted_j else pred == taken
 
     # ---- write-back ---------------------------------------------------
-    tage._use_alt_on_na = use_alt_ctr
-    tage._tick = tick
-    tage._rand = rand
-    tage._last_pc = None
-    tage._last_state = None
-    for i in range(n_tables):
-        f_idx, f_tag0, f_tag1 = fold_finals[i]
-        tage._fold_idx[i].comp = f_idx
-        tage._fold_tag0[i].comp = f_tag0
-        tage._fold_tag1[i].comp = f_tag1
-    # Rebuild the global-history ring from the trace tail.
-    size = tage._hist_size
-    mask = size - 1
-    taken_arr = batch.taken
-    tage._hist_ptr = 0
-    hist = tage._hist
-    for d in range(1, size + 1):
-        hist[(1 - d) & mask] = int(taken_arr[n - d]) if n - d >= 0 else 0
+    writeback_tage_state(tage, batch, fold_finals, use_alt_ctr, tick, rand)
 
     if has_sc:
         sc._ghr = ghr_final

@@ -60,9 +60,10 @@ Commands
     ``verify`` checks every artifact's checksum footer and quarantines
     (or with ``--no-quarantine`` just reports) corrupt files.
 ``bench``
-    Time the scalar vs vector replay kernels and append a row to the
-    tracked benchmark history (``benchmarks/perf/BENCH_kernels.json``);
-    ``--check`` compares speedups against a baseline row for CI.
+    Time the scalar, vector, and native replay kernels and append a row
+    to the tracked benchmark history
+    (``benchmarks/perf/BENCH_kernels.json``); ``--check`` compares
+    speedups and absolute events/s against a baseline row for CI.
 ``trace {summarize,timeline,critical-path,tree}``
     Render the observability trace (``benchmarks/results/trace.jsonl``)
     a ``run-all`` leaves behind: per-stage wall/CPU tables
@@ -70,9 +71,11 @@ Commands
     timeline, the critical path through the task graph, or the raw
     span tree.  ``REPRO_OBS=off`` disables recording entirely.
 
-The global ``--kernel {scalar,vector}`` flag (before the subcommand)
-forces one replay-kernel implementation for the whole invocation — the
-escape hatch if a vectorised kernel ever misbehaves.
+The global ``--kernel {scalar,vector,native}`` flag (before the
+subcommand) forces one replay-kernel implementation for the whole
+invocation — the escape hatch if a vectorised kernel ever misbehaves,
+or the opt-in for the JIT-compiled native tier.  The choices derive
+from :data:`repro.bpu.runner.VALID_KERNELS`.
 """
 
 from __future__ import annotations
@@ -510,7 +513,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if kernel_bench.check_regression(row, baseline):
             print("speedups within tolerance")
         else:
-            print("FAIL: vector kernel slower than baseline tolerance")
+            print("FAIL: kernel throughput below baseline tolerance")
             failed = True
 
     output = pathlib.Path(args.output)
@@ -560,8 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Whisper (MICRO 2022) reproduction toolkit"
     )
+    from .bpu.runner import VALID_KERNELS
+
     parser.add_argument(
-        "--kernel", choices=("scalar", "vector"), default=None,
+        "--kernel", choices=VALID_KERNELS, default=None,
         help="force one replay-kernel implementation for this invocation "
         "(default: vector, or the REPRO_KERNEL environment variable)",
     )
@@ -899,7 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache.set_defaults(func=_cmd_cache)
 
     bench = sub.add_parser(
-        "bench", help="benchmark the scalar vs vector replay kernels"
+        "bench", help="benchmark the scalar/vector/native replay kernels"
     )
     bench.add_argument("--app", default="cassandra")
     bench.add_argument("--events", type=int, default=200_000)

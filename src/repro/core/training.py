@@ -92,7 +92,7 @@ def collect_training_data(
     vectorizable = (
         hash_bits == 8
         and hash_op in ("xor", "or", "and")
-        and resolve_kernel(None) == "vector"
+        and resolve_kernel(None) != "scalar"
     )
     for trace in traces:
         if vectorizable and candidates:

@@ -403,9 +403,9 @@ def simulate_timing(
     in their host blocks.  ``fdip`` disables run-ahead prefetching when
     False; ``perfect_icache`` removes instruction-cache misses entirely
     (used by the limit-study decomposition).  ``kernel`` picks the
-    scalar or vector implementation (default: the runner's resolution
-    order — explicit argument, then ``REPRO_KERNEL``, then vector); the
-    two are bit-identical.
+    implementation (default: the runner's resolution order — explicit
+    argument, then ``REPRO_KERNEL``, then vector); ``native`` shares the
+    vector path here, and all tiers are bit-identical.
     """
     mode = resolve_kernel(kernel)
 
@@ -424,7 +424,9 @@ def simulate_timing(
         mispredicted &= trace.is_conditional
 
         inputs = _get_inputs(trace, placement, config)
-        run = _timing_vector if mode == "vector" else _timing_scalar
+        # Timing has no sequential predictor state, so the native tier
+        # shares the vector implementation (already memory-bound).
+        run = _timing_vector if mode != "scalar" else _timing_scalar
         icache_stalls, icache_misses, covered, btb_misses, mispredict_count = run(
             trace, mispredicted, inputs, config, fdip, perfect_icache
         )

@@ -481,7 +481,9 @@ def generate_trace(
         type(behaviors[block]) in _VECTOR_BEHAVIOR_TYPES
         for block in np.flatnonzero(program.is_conditional)
     )
-    walk = _walk_vector if (mode == "vector" and vectorizable) else _walk_scalar
+    # The native tier only accelerates predictor replay; trace-gen uses
+    # the vector walk for every non-scalar mode.
+    walk = _walk_vector if (mode != "scalar" and vectorizable) else _walk_scalar
     with obs.span(
         "trace.generate",
         app=spec.name,

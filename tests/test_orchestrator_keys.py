@@ -107,33 +107,56 @@ class TestKernelFields:
 
     def test_kernels_share_the_cache_by_default(self, monkeypatch):
         """Bit-identical kernels must map to the same artifact keys, so
-        a cache warmed under one REPRO_KERNEL serves the other."""
+        a cache warmed under one REPRO_KERNEL serves the others."""
         assert keys.KERNEL_AFFECTS_ARTIFACTS is False
         assert keys.kernel_fields() == {}
         spec = get_spec("mysql")
-        monkeypatch.setenv("REPRO_KERNEL", "scalar")
-        scalar_key = artifact_key(
-            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        per_kernel = {}
+        for kernel in ("scalar", "vector", "native"):
+            monkeypatch.setenv("REPRO_KERNEL", kernel)
+            per_kernel[kernel] = artifact_key(
+                "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+            )
+        assert len(set(per_kernel.values())) == 1
+
+    def test_exact_tiers_share_the_cache_even_when_keys_split(self, monkeypatch):
+        """With KERNEL_AFFECTS_ARTIFACTS on, what enters the key is the
+        equivalence class, so the three exact tiers still share one
+        cache entry (determinism is the house invariant)."""
+        monkeypatch.setattr(keys, "KERNEL_AFFECTS_ARTIFACTS", True)
+        assert all(
+            keys.KERNEL_EQUIVALENCE[k] == "exact"
+            for k in ("scalar", "vector", "native")
         )
-        monkeypatch.setenv("REPRO_KERNEL", "vector")
-        vector_key = artifact_key(
-            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
-        )
-        assert scalar_key == vector_key
+        spec = get_spec("mysql")
+        per_kernel = {}
+        for kernel in ("scalar", "vector", "native"):
+            monkeypatch.setenv("REPRO_KERNEL", kernel)
+            assert keys.kernel_fields() == {"kernel": "exact"}
+            per_kernel[kernel] = artifact_key(
+                "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+            )
+        assert len(set(per_kernel.values())) == 1
 
     def test_divergent_kernels_would_split_the_cache(self, monkeypatch):
+        """A tier declared non-exact gets its own cache partition."""
         monkeypatch.setattr(keys, "KERNEL_AFFECTS_ARTIFACTS", True)
-        spec = get_spec("mysql")
-        monkeypatch.setenv("REPRO_KERNEL", "scalar")
-        assert keys.kernel_fields() == {"kernel": "scalar"}
-        scalar_key = artifact_key(
-            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        monkeypatch.setattr(
+            keys,
+            "KERNEL_EQUIVALENCE",
+            {**keys.KERNEL_EQUIVALENCE, "native": "approx-v1"},
         )
+        spec = get_spec("mysql")
         monkeypatch.setenv("REPRO_KERNEL", "vector")
         vector_key = artifact_key(
             "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
         )
-        assert scalar_key != vector_key
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        assert keys.kernel_fields() == {"kernel": "approx-v1"}
+        native_key = artifact_key(
+            "timing", spec=spec, **keys.kernel_fields(), input_id=1, n_events=1000
+        )
+        assert vector_key != native_key
 
     def test_schema_is_v2_for_vector_kernel_timing(self):
         """The timing recomposition changed cycle float association; v1

@@ -1,11 +1,14 @@
-"""Scalar <-> vector kernel equivalence.
+"""Scalar <-> vector <-> native kernel equivalence.
 
-The vectorised replay kernels (:mod:`repro.bpu.vector`), the batched
-hint pre-passes, the timing simulator and the trace generator all claim
+The vectorised replay kernels (:mod:`repro.bpu.vector`), the
+JIT-compiled native kernels (:mod:`repro.bpu.native`), the batched hint
+pre-passes, the timing simulator and the trace generator all claim
 *bit-identical* results against their scalar reference paths.  This
-suite enforces that claim across every registered predictor, all three
-hint-runtime families (Whisper, ROMBF, BranchNet) and several app
-profiles, plus unit-level checks of the folded-history columns.
+suite enforces that claim three ways across every registered predictor,
+all three hint-runtime families (Whisper, ROMBF, BranchNet) and several
+app profiles, plus unit-level checks of the folded-history columns.
+When no native backend is available the native runs fall back to the
+vector kernels (with a warning), so the assertions still hold.
 """
 
 import numpy as np
@@ -83,19 +86,22 @@ def _runtime_factories(setup):
     return {"whisper": whisper, "rombf": rombf, "branchnet": branchnet}
 
 
-def _assert_identical(scalar, vector):
-    assert np.array_equal(scalar.correct, vector.correct)
-    assert np.array_equal(scalar.hinted, vector.hinted)
-    assert scalar.mpki == vector.mpki
+def _assert_identical(scalar, *others):
+    for other in others:
+        assert np.array_equal(scalar.correct, other.correct)
+        assert np.array_equal(scalar.hinted, other.hinted)
+        assert scalar.mpki == other.mpki
 
 
 class TestPredictorEquivalence:
     @pytest.mark.parametrize("name", sorted(PREDICTORS))
     def test_bit_identical_predictions(self, app_setup, name):
         factory = PREDICTORS[name]
-        scalar = simulate(app_setup["trace"], factory(), kernel="scalar")
-        vector = simulate(app_setup["trace"], factory(), kernel="vector")
-        _assert_identical(scalar, vector)
+        runs = [
+            simulate(app_setup["trace"], factory(), kernel=kernel)
+            for kernel in VALID_KERNELS
+        ]
+        _assert_identical(*runs)
 
     def test_predictor_state_converges(self, app_setup):
         """Post-replay predictor state must match, so a *second* replay
@@ -117,6 +123,7 @@ class TestPredictorEquivalence:
                 predictor._us,
             )
         assert results["scalar"] == results["vector"]
+        assert results["scalar"] == results["native"]
 
 
 class TestHintRuntimeEquivalence:
@@ -124,13 +131,11 @@ class TestHintRuntimeEquivalence:
     def test_bit_identical_hinted_replay(self, app_setup, family):
         factory = _runtime_factories(app_setup)[family]
         trace = app_setup["trace"]
-        scalar = simulate(
-            trace, TageScLPredictor(16), runtime=factory(), kernel="scalar"
-        )
-        vector = simulate(
-            trace, TageScLPredictor(16), runtime=factory(), kernel="vector"
-        )
-        _assert_identical(scalar, vector)
+        scalar, *others = [
+            simulate(trace, TageScLPredictor(16), runtime=factory(), kernel=kernel)
+            for kernel in VALID_KERNELS
+        ]
+        _assert_identical(scalar, *others)
         # Hint coverage must be real on at least one family for the
         # equivalence to mean anything; whisper always places hints.
         if family == "whisper":
@@ -169,20 +174,21 @@ class TestTimingEquivalence:
             )
             for kernel in VALID_KERNELS
         ]
-        scalar, vector = results
-        for field in (
-            "cycles",
-            "base_cycles",
-            "squash_cycles",
-            "icache_stall_cycles",
-            "btb_stall_cycles",
-            "icache_misses",
-            "icache_misses_covered",
-            "mispredictions",
-            "instructions",
-            "hint_instructions",
-        ):
-            assert getattr(scalar, field) == getattr(vector, field), field
+        scalar, *others = results
+        for other in others:
+            for field in (
+                "cycles",
+                "base_cycles",
+                "squash_cycles",
+                "icache_stall_cycles",
+                "btb_stall_cycles",
+                "icache_misses",
+                "icache_misses_covered",
+                "mispredictions",
+                "instructions",
+                "hint_instructions",
+            ):
+                assert getattr(scalar, field) == getattr(other, field), field
 
 
 class TestGeneratorEquivalence:
@@ -190,9 +196,10 @@ class TestGeneratorEquivalence:
     def test_bit_identical_traces(self, app_setup, input_id):
         spec = app_setup["spec"]
         scalar = generate_trace(spec, input_id, N_EVENTS, use_cache=False, kernel="scalar")
-        vector = generate_trace(spec, input_id, N_EVENTS, use_cache=False, kernel="vector")
-        assert np.array_equal(scalar.block_ids, vector.block_ids)
-        assert np.array_equal(scalar.taken, vector.taken)
+        for kernel in ("vector", "native"):
+            other = generate_trace(spec, input_id, N_EVENTS, use_cache=False, kernel=kernel)
+            assert np.array_equal(scalar.block_ids, other.block_ids)
+            assert np.array_equal(scalar.taken, other.taken)
 
 
 class TestFoldedColumns:
