@@ -51,10 +51,27 @@ Commands
     typed error; bad addresses exit 2 — the same contract as
     ``repro cluster worker`` (whose first-connection patience is now
     ``--connect-window``).
-``runs list``
-    Enumerate the run journals under ``<results>/runs`` — run id,
-    status, task counts, sessions — and print the exact ``repro
-    run-all --resume`` invocation for any unfinished run.
+``sweep {run,status}``
+    Fleet-scale parameter sweeps (``repro.sweep``): ``run`` expands a
+    declarative TOML/JSON spec — axes over predictor size, hint
+    budget, explore fraction, warmup, workload, kernel tier — into the
+    orchestrator task graph and executes every configuration through
+    the chosen ``--backend`` (local pool or the TCP cluster, whose
+    workers may join and leave mid-sweep); finished configs land in
+    the experiment registry (``repro.registry``) under
+    ``<results>/registry/``, deduplicated by deterministic config id
+    so re-runs are cache hits and the index stays byte-identical
+    across backends.  Sweeps journal and resume exactly like
+    ``run-all`` (``--resume`` refuses an edited spec).  ``status``
+    lists sweep journals and registry totals.  Invalid specs exit 2.
+``runs {list,query}``
+    ``list`` enumerates the run journals under ``<results>/runs`` —
+    run id, status, resumability (finished/partial), task counts,
+    sessions — and prints the exact resume invocation for any partial
+    run.  ``query`` filters the experiment registry (``--sweep``,
+    repeatable ``--where KEY=VALUE`` / ``KEY>=VALUE`` predicates over
+    axes and metrics) and prints matching rows in stable config-id
+    order as a table or, with ``--json``, as JSON.
 ``cache {stats,clear,verify}``
     Inspect or empty the on-disk artifact cache, or integrity-scan it:
     ``verify`` checks every artifact's checksum footer and quarantines
@@ -407,7 +424,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    """``repro runs query`` — filter and print the experiment registry."""
+    import json
+
+    from . import registry
+
+    try:
+        where = [registry.parse_filter(expr) for expr in (args.where or [])]
+    except ValueError as error:
+        print(error)
+        return 2
+    rows = registry.query(args.results, sweep=args.sweep, where=where)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        for line in registry.table_lines(rows):
+            print(line)
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
+    if args.mode == "query":
+        return _cmd_runs_query(args)
+
     from .orchestrator.journal import list_runs, load_journal
     from .orchestrator.scheduler import DONE, FAILED
 
@@ -425,18 +465,98 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         done = sum(1 for s in state.task_status.values() if s == DONE)
         failed = sum(1 for s in state.task_status.values() if s == FAILED)
         status = state.describe_status()
+        resumable = state.resumability()
         sessions = (
             f", {state.sessions} sessions" if state.sessions > 1 else ""
         )
         line = (
-            f"  {run_id}: {status} — {done} done, {failed} failed{sessions}"
+            f"  {run_id}: {status} [{resumable}] — "
+            f"{done} done, {failed} failed{sessions}"
         )
         print(line)
-        if status != "complete":
+        if resumable == "partial":
+            command = (
+                "sweep run" if state.params.get("type") == "sweep" else "run-all"
+            )
             print(
-                f"    resume with: repro run-all --resume {run_id} "
+                f"    resume with: repro {command} --resume {run_id} "
                 f"--results {results}"
             )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep {run,status}`` — declarative parameter sweeps."""
+    if args.mode == "status":
+        from . import registry
+        from .orchestrator.journal import list_runs, load_journal
+        from .orchestrator.scheduler import DONE
+
+        results = args.results
+        index = registry.load_index(results)
+        per_sweep: dict = {}
+        for row in index.rows:
+            name = str(row.get("sweep", ""))
+            per_sweep[name] = per_sweep.get(name, 0) + 1
+        print(f"registry: {len(index.rows)} row(s) under "
+              f"{registry.registry_dir(results)}")
+        for name in sorted(per_sweep):
+            print(f"  {name or '(unnamed)'}: {per_sweep[name]} row(s)")
+        journals = [
+            (run_id, state)
+            for run_id in list_runs(results)
+            for state in [load_journal(results, run_id)]
+            if state is not None and state.params.get("type") == "sweep"
+        ]
+        if not journals:
+            print(f"no sweep journals under {pathlib.Path(results) / 'runs'}")
+            return 0
+        print(f"{len(journals)} sweep run(s):")
+        for run_id, state in journals:
+            done = sum(1 for s in state.task_status.values() if s == DONE)
+            total = state.params.get("n_configs", "?")
+            print(f"  {run_id}: sweep {state.params.get('sweep', '?')} — "
+                  f"{done}/{total} configs, {state.resumability()}")
+            if state.resumability() == "partial":
+                print(f"    resume with: repro sweep run --resume {run_id} "
+                      f"--results {results}")
+        return 0
+
+    from .sweep import runner as sweep_runner
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        report = sweep_runner.run_sweep(
+            spec_path=args.spec,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            results_dir=args.results,
+            log=print,
+            retries=(
+                args.retries if args.retries is not None
+                else sweep_runner.DEFAULT_RETRIES
+            ),
+            task_timeout=args.task_timeout,
+            keep_going=not args.fail_fast,
+            run_id=args.run_id,
+            resume=args.resume,
+            backend=args.backend,
+            coordinator=args.coordinator,
+            lease_seconds=args.lease_seconds,
+        )
+    except ValueError as error:  # includes every SweepSpecError
+        print(error)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if report.interrupted:
+        print(f"interrupted — resume with: repro sweep run "
+              f"--resume {report.run_id}")
+        return 130
+    if report.counts.get("failed", 0) or report.counts.get("cancelled", 0):
+        print(f"incomplete — resume with: repro sweep run "
+              f"--resume {report.run_id}")
+        return 1
     return 0
 
 
@@ -874,7 +994,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     hint_demo.set_defaults(func=_cmd_serve)
 
-    runs = sub.add_parser("runs", help="list run journals and how to resume them")
+    sweep = sub.add_parser(
+        "sweep", help="declarative parameter sweeps over the orchestrator"
+    )
+    sweep_sub = sweep.add_subparsers(dest="mode", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run",
+        help="expand a TOML/JSON sweep spec and run every configuration "
+        "into the experiment registry",
+    )
+    sweep_run.add_argument(
+        "spec", nargs="?", default=None,
+        help="sweep spec file (TOML or JSON; omit when resuming — the "
+        "journal pins it)",
+    )
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = inline, 0 = one per CPU core)",
+    )
+    sweep_run.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, help="artifact cache directory"
+    )
+    sweep_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (every config recomputes "
+        "its intermediates)",
+    )
+    sweep_run.add_argument(
+        "--results", default="benchmarks/results",
+        help="results directory: the registry and run journals live here",
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per config after a failure/crash/timeout "
+        "(default: 1)",
+    )
+    sweep_run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline; hung configs are terminated and retried",
+    )
+    sweep_run.add_argument(
+        "--keep-going", dest="fail_fast", action="store_false", default=False,
+        help="on a config failure, still run every other configuration "
+        "(the default)",
+    )
+    sweep_run.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="abort on the first config failure, leaving a resumable journal",
+    )
+    sweep_run.add_argument(
+        "--run-id", default=None,
+        help="journal id for this sweep run (default: derived from time + pid)",
+    )
+    sweep_run.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="complete a previous sweep run from its journal; refused "
+        "if the spec changed since",
+    )
+    sweep_run.add_argument(
+        "--backend", choices=("local", "cluster"), default="local",
+        help="where configs execute: a local process pool, or remote "
+        "`repro cluster worker` processes leasing tasks over TCP",
+    )
+    sweep_run.add_argument(
+        "--coordinator", default=None, metavar="HOST:PORT",
+        help="cluster backend: the address this sweep binds its "
+        "coordinator on (workers connect here, and may join/leave "
+        "mid-sweep)",
+    )
+    sweep_run.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECONDS",
+        help="cluster backend: reassign a worker's configs after this "
+        "much heartbeat silence (default: 15)",
+    )
+    sweep_run.set_defaults(func=_cmd_sweep)
+    sweep_status = sweep_sub.add_parser(
+        "status", help="sweep journals and experiment-registry totals"
+    )
+    sweep_status.add_argument(
+        "--results", default="benchmarks/results",
+        help="results directory holding the registry and runs/ journals",
+    )
+    sweep_status.set_defaults(func=_cmd_sweep)
+
+    runs = sub.add_parser(
+        "runs", help="list run journals or query the experiment registry"
+    )
     runs_sub = runs.add_subparsers(dest="mode", required=True)
     runs_list = runs_sub.add_parser(
         "list", help="enumerate journals under <results>/runs"
@@ -884,6 +1089,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="results directory holding the runs/ journals",
     )
     runs_list.set_defaults(func=_cmd_runs)
+    runs_query = runs_sub.add_parser(
+        "query", help="filter and print experiment-registry rows"
+    )
+    runs_query.add_argument(
+        "--results", default="benchmarks/results",
+        help="results directory holding the registry",
+    )
+    runs_query.add_argument(
+        "--sweep", default=None, help="restrict to one sweep by name"
+    )
+    runs_query.add_argument(
+        "--where", action="append", default=[], metavar="KEY[OP]VALUE",
+        help="predicate over config axes and metrics, e.g. app=mysql or "
+        "reduction_pct>=40 (repeatable; all must match)",
+    )
+    runs_query.add_argument(
+        "--json", action="store_true",
+        help="emit matching rows as JSON instead of a table",
+    )
+    runs_query.set_defaults(func=_cmd_runs)
 
     cache = sub.add_parser(
         "cache", help="inspect, verify, or clear the artifact cache"

@@ -368,6 +368,10 @@ class ClusterBackend(ExecutionBackend):
             "worker_hello", worker=worker_id,
             slots=worker.slots, reconnect=not fresh,
         )
+        if fresh:
+            # Elastic membership: count arrivals so a long-lived sweep's
+            # trace shows how the fleet grew and shrank around it.
+            obs.add("cluster.worker_joins")
         self._say(
             f"worker {worker_id} {'connected' if fresh else 'reconnected'} "
             f"({worker.slots} slot(s))"
@@ -517,5 +521,6 @@ class ClusterBackend(ExecutionBackend):
                     error=f"worker {worker_id} departed holding "
                           f"task {handle.spec.name!r}",
                 ))
+        obs.add("cluster.worker_departures")
         self._say(f"worker {worker_id} departed")
         return {"ok": True}, b""

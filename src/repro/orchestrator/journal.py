@@ -82,6 +82,19 @@ class JournalState:
             return "failed"
         return "complete"
 
+    def resumability(self) -> str:
+        """``finished`` or ``partial``: does ``--resume`` have work left?
+
+        A run is finished only when it ended cleanly with nothing
+        failed, cancelled, or interrupted; every other shape — still
+        live, died without its end marker, drained by SIGINT, or ended
+        with failures — has incomplete tasks a resume would execute.
+        """
+        if self.ended and not self.interrupted and not self.failed \
+                and not self.cancelled:
+            return "finished"
+        return "partial"
+
 
 class RunJournal:
     """Append-only writer for one run's journal file."""

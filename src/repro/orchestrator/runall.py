@@ -298,6 +298,10 @@ def task_from_payload(payload: dict, cache_dir: str):
     n_events = int(payload["n_events"])
     if kind == "figure":
         return run_figure, (str(payload["figure"]), n_events, cache_dir, None)
+    if kind == "sweep":
+        from ..sweep.runner import run_sweep_config
+
+        return run_sweep_config, (dict(payload["config"]), cache_dir)
     fn = _STAGE_FNS.get(str(kind))
     if fn is None:
         raise ValueError(f"unknown task payload kind {kind!r}")

@@ -1,0 +1,298 @@
+"""The queryable experiment registry: where sweep results accumulate.
+
+Layout under ``<results>/registry/``:
+
+* ``rows/<config_id>.json`` — one content-addressed result row per
+  configuration, written atomically the moment the config finishes.
+  The bytes are the row's canonical JSON rendering, so a row file is
+  identical no matter which backend (or which re-run) produced it.
+* ``index.jsonl`` — the append-only queryable index: one canonical
+  JSON line per registered row.  Appends are fsynced and deduplicated
+  by config id, so re-running a sweep appends nothing and the index
+  stays byte-identical between local and cluster backends (rows are
+  appended in sorted config-id order per sweep, never in completion
+  order).
+
+Rows carry no timestamps — ids fingerprint content — which is what lets
+``repro runs query`` output be compared byte-for-byte across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .orchestrator.keys import canonical_json
+
+PathLike = Union[str, pathlib.Path]
+
+#: Subdirectory of the results dir holding the index and row files.
+REGISTRY_DIR_NAME = "registry"
+INDEX_NAME = "index.jsonl"
+ROWS_DIR_NAME = "rows"
+
+#: Comparison operators accepted by :func:`parse_filter`, longest first
+#: so ``<=`` never parses as ``<`` + ``=value``.
+_OPERATORS = (">=", "<=", "!=", ">", "<", "=")
+
+
+def registry_dir(results_dir: PathLike) -> pathlib.Path:
+    """The registry root under one results directory."""
+    return pathlib.Path(results_dir) / REGISTRY_DIR_NAME
+
+
+def index_path(results_dir: PathLike) -> pathlib.Path:
+    """The append-only JSONL index file."""
+    return registry_dir(results_dir) / INDEX_NAME
+
+
+def row_path(results_dir: PathLike, config_id: str) -> pathlib.Path:
+    """The content-addressed row file for one configuration."""
+    return registry_dir(results_dir) / ROWS_DIR_NAME / f"{config_id}.json"
+
+
+def row_bytes(row: Mapping[str, object]) -> bytes:
+    """The canonical byte rendering shared by row files and index lines."""
+    return canonical_json(row).encode()
+
+
+def write_row(results_dir: PathLike, row: Mapping[str, object]) -> pathlib.Path:
+    """Atomically persist one result row under ``rows/``.
+
+    Content-addressed by config id: writing the same row twice is
+    idempotent, and a crash mid-write never leaves a torn row (temp
+    file + fsync + rename, the same contract as figure publishing).
+    """
+    target = row_path(results_dir, str(row["config_id"]))
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(row_bytes(row) + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def read_row(results_dir: PathLike, config_id: str) -> Optional[dict]:
+    """Load one persisted row; ``None`` when the config never finished."""
+    path = row_path(results_dir, config_id)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except ValueError:
+        return None
+
+
+@dataclass
+class RegistryIndex:
+    """The parsed index: ordered rows plus what loading tolerated."""
+
+    rows: List[dict] = field(default_factory=list)
+    #: config id -> first row seen for it (later duplicates are ignored).
+    by_id: Dict[str, dict] = field(default_factory=dict)
+    #: Later lines whose config id was already indexed.
+    duplicates: int = 0
+    #: Undecodable lines (a torn final append) skipped during the load.
+    torn: int = 0
+
+
+def load_index(results_dir: PathLike) -> RegistryIndex:
+    """Parse the JSONL index, deduplicating by config id.
+
+    Mirrors the journal reader's crash tolerance: a torn trailing line
+    is skipped, everything before it stays valid.  Duplicate config ids
+    (possible only if two writers raced an append) resolve to the first
+    occurrence, matching the row files' first-write-wins semantics.
+    """
+    index = RegistryIndex()
+    path = index_path(results_dir)
+    if not path.exists():
+        return index
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            index.torn += 1
+            continue
+        if not isinstance(row, dict) or "config_id" not in row:
+            index.torn += 1
+            continue
+        cid = str(row["config_id"])
+        if cid in index.by_id:
+            index.duplicates += 1
+            continue
+        index.by_id[cid] = row
+        index.rows.append(row)
+    return index
+
+
+def append_rows(
+    results_dir: PathLike, rows: Iterable[Mapping[str, object]]
+) -> Tuple[int, int]:
+    """Register rows in the index; returns ``(appended, deduplicated)``.
+
+    New rows are appended in sorted config-id order — independent of
+    the completion order the backend produced — so local and cluster
+    runs of the same sweep grow byte-identical indexes.  Rows whose id
+    is already indexed are skipped: a re-run appends nothing.
+    """
+    existing = load_index(results_dir).by_id
+    fresh = {}
+    skipped = 0
+    for row in rows:
+        cid = str(row["config_id"])
+        if cid in existing or cid in fresh:
+            skipped += 1
+            continue
+        fresh[cid] = row
+    if not fresh:
+        return 0, skipped
+    path = index_path(results_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        for cid in sorted(fresh):
+            handle.write(canonical_json(fresh[cid]) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(fresh), skipped
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Filter:
+    """One ``key OP value`` predicate from ``repro runs query --where``."""
+
+    key: str
+    op: str
+    value: str
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        """Does a row satisfy this predicate?
+
+        The key is looked up in the row's config first, then its
+        metrics; rows without the key never match.  Comparisons are
+        numeric when both sides parse as numbers, string otherwise
+        (ordering operators require numbers).
+        """
+        config = row.get("config") or {}
+        metrics = row.get("metrics") or {}
+        if self.key in config:
+            actual = config[self.key]
+        elif self.key in metrics:
+            actual = metrics[self.key]
+        else:
+            return False
+        try:
+            left, right = float(actual), float(self.value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            if self.op == "=":
+                return str(actual) == self.value
+            if self.op == "!=":
+                return str(actual) != self.value
+            return False
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "<":
+            return left < right
+        return left <= right
+
+
+def parse_filter(expression: str) -> Filter:
+    """Parse ``key=value`` / ``key>=value`` / ... into a :class:`Filter`."""
+    for op in _OPERATORS:
+        if op in expression:
+            key, _, value = expression.partition(op)
+            key, value = key.strip(), value.strip()
+            if key and value:
+                return Filter(key=key, op=op, value=value)
+    raise ValueError(
+        f"bad filter {expression!r}; expected key OP value with OP one of "
+        f"{', '.join(_OPERATORS)}"
+    )
+
+
+def query(
+    results_dir: PathLike,
+    sweep: Optional[str] = None,
+    where: Sequence[Filter] = (),
+) -> List[dict]:
+    """Rows matching every filter, in stable (sweep, config id) order.
+
+    The sort ignores index append order entirely, so two invocations —
+    or indexes grown by different backends — print identical output.
+    """
+    rows = load_index(results_dir).rows
+    if sweep is not None:
+        rows = [row for row in rows if row.get("sweep") == sweep]
+    for predicate in where:
+        rows = [row for row in rows if predicate.matches(row)]
+    return sorted(rows, key=lambda row: (str(row.get("sweep", "")), str(row["config_id"])))
+
+
+def _format_cell(value: object) -> str:
+    """One table cell: compact floats, plain everything else."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def table_lines(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Render query results as an aligned text table.
+
+    Columns: sweep, short config id, app, then every *varying* config
+    axis (constant axes are noise at query time), then every metric.
+    """
+    if not rows:
+        return ["no rows"]
+    axes: Dict[str, set] = {}
+    metric_names: List[str] = []
+    for row in rows:
+        for axis, value in (row.get("config") or {}).items():
+            axes.setdefault(axis, set()).add(repr(value))
+        for name in row.get("metrics") or {}:
+            if name not in metric_names:
+                metric_names.append(name)
+    varying = sorted(
+        axis for axis, values in axes.items() if len(values) > 1 and axis != "app"
+    )
+    header = ["sweep", "config", "app", *varying, *sorted(metric_names)]
+    table: List[List[str]] = [header]
+    for row in rows:
+        config = row.get("config") or {}
+        metrics = row.get("metrics") or {}
+        table.append([
+            str(row.get("sweep", "")),
+            str(row["config_id"])[:12],
+            str(config.get("app", "")),
+            *(_format_cell(config.get(axis, "")) for axis in varying),
+            *(_format_cell(metrics.get(name, "")) for name in sorted(metric_names)),
+        ])
+    widths = [max(len(line[col]) for line in table) for col in range(len(header))]
+    return [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]

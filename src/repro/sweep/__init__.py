@@ -1,0 +1,36 @@
+"""Fleet-scale parameter sweeps over the orchestrator substrate.
+
+``repro.sweep`` turns a declarative TOML/JSON sweep specification —
+axes over predictor size, hint budget, explore fraction, warmup,
+workload, kernel tier — into the orchestrator's task graph and runs it
+through any :class:`~repro.orchestrator.scheduler.ExecutionBackend`
+(local pool or TCP cluster).  Results accumulate in the queryable
+experiment registry (:mod:`repro.registry`), deduplicated by
+deterministic config id so re-runs are cache hits.
+"""
+
+from .spec import (
+    AxisTypeError,
+    AxisValueError,
+    EmptyAxisError,
+    SpecFormatError,
+    SweepConfig,
+    SweepSpec,
+    SweepSpecError,
+    UnknownAxisError,
+    config_id,
+    load_sweep_spec,
+)
+
+__all__ = [
+    "AxisTypeError",
+    "AxisValueError",
+    "EmptyAxisError",
+    "SpecFormatError",
+    "SweepConfig",
+    "SweepSpec",
+    "SweepSpecError",
+    "UnknownAxisError",
+    "config_id",
+    "load_sweep_spec",
+]

@@ -1,0 +1,393 @@
+"""Execute an expanded sweep through the orchestrator's task graph.
+
+One configuration becomes one task (``cfg:<config_id>``): the same
+module-level picklable shape the suite's warm stages use, so a sweep
+runs unchanged on the inline runner, the local process pool, or the TCP
+cluster backend — workers rebuild the task from its wire payload via
+:func:`repro.orchestrator.runall.task_from_payload`.
+
+Results flow into the experiment registry (:mod:`repro.registry`): each
+finished config's row is written content-addressed the moment it
+completes (before its journal line, so a resumed run can trust it), and
+the index grows by sorted config id once the run ends — making the
+registry byte-identical between backends and idempotent across re-runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs, registry
+from ..orchestrator.journal import RunJournal, load_journal
+from ..orchestrator.metrics import Timer, aggregate_cache_stats
+from ..obs.trace import TRACE_NAME, merge_events, write_events
+from ..orchestrator.runall import (
+    DEFAULT_RESULTS_DIR,
+    DEFAULT_RETRIES,
+    _context,
+    _install_stop_handlers,
+    _stats,
+    new_run_id,
+    resolve_jobs,
+)
+from ..orchestrator.scheduler import DONE, RetryPolicy, TaskGraph, TaskRecord
+from ..orchestrator.store import ArtifactStore
+from .spec import SweepConfig, SweepSpec, config_id, load_sweep_spec
+
+#: Task names are ``cfg:<config_id>`` — stable across sessions, which is
+#: what makes a sweep journal resumable.
+TASK_PREFIX = "cfg:"
+
+
+def task_name(cid: str) -> str:
+    """The graph/journal task name for one configuration."""
+    return f"{TASK_PREFIX}{cid}"
+
+
+def config_id_from_task(name: str) -> str:
+    """Invert :func:`task_name` (used when resuming from a journal)."""
+    return name[len(TASK_PREFIX):] if name.startswith(TASK_PREFIX) else name
+
+
+# ----------------------------------------------------------------------
+# The per-configuration task (module-level: picklable + shippable)
+# ----------------------------------------------------------------------
+def run_sweep_config(config: dict, cache_dir: Optional[str]) -> dict:
+    """Worker task: measure one fully-resolved sweep configuration.
+
+    Replays the test trace through the scaled baseline predictor and —
+    for ``pipeline="whisper"`` — through the full profile-guided flow
+    with the config's explore fraction, hint budget, and candidate cap.
+    Every intermediate persists in the artifact store, so repeated
+    configurations (and re-runs of the whole sweep) are cache hits.
+    """
+    import os
+
+    values = dict(config)
+    cid = config_id(values)
+    kernel = str(values.get("kernel") or "")
+    previous = os.environ.get("REPRO_KERNEL")
+    if kernel:
+        os.environ["REPRO_KERNEL"] = kernel
+    try:
+        ctx = _context(int(values["n_events"]), cache_dir)
+        ctx.warmup = float(values["warmup"])
+        app = str(values["app"])
+        label_kb = float(values["label_kb"])
+        with obs.span(
+            "sweep_config", config=cid, app=app, pipeline=str(values["pipeline"])
+        ):
+            baseline = ctx.baseline(app, label_kb, input_id=1)
+            metrics: Dict[str, object] = {
+                "baseline_mpki": round(baseline.mpki, 6),
+                "baseline_accuracy": round(baseline.accuracy, 6),
+            }
+            if values["pipeline"] == "whisper":
+                from ..core.whisper import WhisperConfig
+
+                wconfig = WhisperConfig(
+                    explore_fraction=float(values["explore_fraction"]),
+                    hint_buffer_entries=int(values["hint_budget"]) or None,
+                    max_candidates=int(values["max_candidates"]) or None,
+                )
+                run = ctx.whisper_run(app, label_kb=label_kb, config=wconfig)
+                metrics["whisper_mpki"] = round(run.mpki, 6)
+                metrics["reduction_pct"] = round(
+                    run.misprediction_reduction(baseline), 4
+                )
+                metrics["hinted_events"] = int(run.hinted.sum())
+        obs.add("sweep.configs_run")
+        row = {"config_id": cid, "config": values, "metrics": metrics}
+        return {"row": row, **_stats(ctx)}
+    finally:
+        if kernel:
+            if previous is None:
+                os.environ.pop("REPRO_KERNEL", None)
+            else:
+                os.environ["REPRO_KERNEL"] = previous
+
+
+def build_sweep_graph(
+    configs: Sequence[SweepConfig], cache_dir: Optional[str]
+) -> TaskGraph:
+    """One independent task per configuration (no cross-config deps —
+    the artifact store is the sharing mechanism, not the graph)."""
+    graph = TaskGraph()
+    for config in configs:
+        values = dict(config.values)
+        graph.add(
+            task_name(config.config_id),
+            run_sweep_config,
+            args=(values, cache_dir),
+            kind="sweep",
+            app=str(values["app"]),
+            payload={
+                "kind": "sweep",
+                "n_events": int(values["n_events"]),
+                "config": values,
+            },
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class SweepReport:
+    """What one ``repro sweep run`` accomplished."""
+
+    sweep: str
+    spec_id: str
+    run_id: str
+    backend: str
+    n_configs: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    appended: int = 0
+    deduplicated: int = 0
+    missing_rows: int = 0
+    wall_seconds: float = 0.0
+    interrupted: bool = False
+    cache: Dict[str, object] = field(default_factory=dict)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable closing summary for the CLI."""
+        done = self.counts.get("done", 0)
+        lines = [
+            f"sweep {self.sweep}: {done}/{self.n_configs} configs done "
+            f"on the {self.backend} backend in {self.wall_seconds:.1f}s",
+            f"registry: {self.appended} rows appended, "
+            f"{self.deduplicated} already registered",
+        ]
+        failed = self.counts.get("failed", 0)
+        cancelled = self.counts.get("cancelled", 0)
+        if failed or cancelled:
+            lines.append(f"incomplete: {failed} failed, {cancelled} cancelled")
+        if self.missing_rows:
+            lines.append(
+                f"{self.missing_rows} journal-finished configs had no "
+                f"registry row (registry wiped?) — re-run without --resume"
+            )
+        hits = self.cache.get("hits", 0)
+        misses = self.cache.get("misses", 0)
+        if hits or misses:
+            lines.append(f"artifact cache: {hits} hits, {misses} misses")
+        return lines
+
+
+def _counts(records: Sequence[TaskRecord]) -> Dict[str, int]:
+    """Tally of terminal statuses across the run's records."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record.status] = counts.get(record.status, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_sweep(
+    spec_path: Optional[str] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    results_dir: str = DEFAULT_RESULTS_DIR,
+    log: Optional[Callable[[str], None]] = None,
+    retries: int = DEFAULT_RETRIES,
+    task_timeout: Optional[float] = None,
+    keep_going: bool = True,
+    run_id: Optional[str] = None,
+    resume: Optional[str] = None,
+    backend: str = "local",
+    coordinator: Optional[str] = None,
+    lease_seconds: Optional[float] = None,
+) -> SweepReport:
+    """Expand ``spec_path`` and run every configuration to the registry.
+
+    Mirrors :func:`repro.orchestrator.runall.run_all`'s execution
+    contract: journaled under ``<results>/runs/<run_id>.jsonl`` (resume
+    with ``resume=<run_id>``; the journal pins the spec file and its
+    digest, and resuming against an edited spec is refused), retried
+    per :class:`~repro.orchestrator.scheduler.RetryPolicy`, drained
+    cleanly on SIGINT/SIGTERM, and — with ``backend="cluster"`` —
+    served to remote workers over the lease protocol, with workers free
+    to join and leave mid-sweep.
+    """
+    if not results_dir:
+        raise ValueError("a sweep needs a results directory (the registry lives there)")
+
+    journal: Optional[RunJournal] = None
+    completed: Sequence[str] = ()
+    if resume is not None:
+        state = load_journal(results_dir, resume)
+        if state is None:
+            raise ValueError(
+                f"no journal for run {resume!r} under "
+                f"{pathlib.Path(results_dir) / 'runs'}"
+            )
+        params = state.params
+        if params.get("type") != "sweep":
+            raise ValueError(
+                f"run {resume!r} is not a sweep journal — resume it with "
+                f"`repro run-all --resume {resume}`"
+            )
+        spec_path = spec_path or str(params.get("spec_path") or "")
+        cache_dir = str(params.get("cache_dir") or "") or None
+        completed = sorted(state.completed)
+        run_id = resume
+
+    if not spec_path:
+        raise ValueError("a sweep spec file is required")
+    spec = load_sweep_spec(spec_path)
+    configs = spec.expand()
+    spec_id = spec.spec_id()
+    if resume is not None:
+        recorded = str(state.params.get("spec_id") or "")
+        if recorded and recorded != spec_id:
+            raise ValueError(
+                f"sweep spec {spec_path} changed since run {resume!r} "
+                f"(spec id {spec_id} != journaled {recorded}); start a "
+                f"fresh run instead of resuming"
+            )
+        journal = RunJournal.resume(results_dir, resume)
+
+    run_id = run_id or new_run_id()
+    jobs = resolve_jobs(jobs)
+
+    cluster_backend = None
+    if backend == "cluster":
+        if not coordinator:
+            raise ValueError(
+                "--backend cluster needs --coordinator HOST:PORT (the bind address)"
+            )
+        if not cache_dir:
+            raise ValueError(
+                "--backend cluster needs a cache directory (the artifact hub "
+                "workers ship through)"
+            )
+        from ..cluster.coordinator import DEFAULT_LEASE_SECONDS, ClusterBackend
+
+        cluster_backend = ClusterBackend(
+            bind=coordinator,
+            cache_dir=cache_dir,
+            lease_seconds=(
+                lease_seconds if lease_seconds is not None else DEFAULT_LEASE_SECONDS
+            ),
+            log=log,
+        )
+    elif backend != "local":
+        raise ValueError(f"unknown backend {backend!r}; expected local or cluster")
+
+    if journal is None:
+        journal = RunJournal.start(
+            results_dir, run_id,
+            params={
+                "type": "sweep",
+                "sweep": spec.name,
+                "spec_path": str(spec_path),
+                "spec_id": spec_id,
+                "n_configs": len(configs),
+                "jobs": jobs,
+                "backend": backend,
+                "cache_dir": cache_dir or "",
+                "results_dir": str(results_dir),
+            },
+        )
+
+    def _on_record(record: TaskRecord) -> None:
+        """Persist a finished config's row *before* its journal line, so
+        a ``done`` journal entry always implies a readable row file."""
+        if (
+            record.status == DONE
+            and not record.resumed
+            and isinstance(record.result, dict)
+        ):
+            row = record.result.get("row")
+            if isinstance(row, dict):
+                enriched = dict(row)
+                enriched["sweep"] = spec.name
+                enriched["spec_id"] = spec_id
+                registry.write_row(results_dir, enriched)
+        journal.record_task(record)
+
+    policy = RetryPolicy(retries=max(0, retries), timeout=task_timeout)
+    stop = threading.Event()
+    previous_handlers = _install_stop_handlers(stop, log)
+    graph = build_sweep_graph(configs, cache_dir)
+    try:
+        with obs.span(
+            "sweep", sweep=spec.name, configs=len(configs), jobs=jobs,
+            backend=backend,
+        ):
+            with Timer() as timer:
+                records = graph.run(
+                    jobs=jobs,
+                    log=log,
+                    policy=policy,
+                    keep_going=keep_going,
+                    completed=completed,
+                    stop_event=stop,
+                    on_record=_on_record,
+                    backend=cluster_backend,
+                )
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        if cluster_backend is not None:
+            cluster_backend.close()
+    interrupted = stop.is_set()
+
+    cache = aggregate_cache_stats(record.result for record in records)
+    if cache_dir:
+        ArtifactStore(cache_dir).persist_stats(extra=cache)
+
+    # Collect every finished config's row: freshly-run rows were written
+    # by the on_record hook; journal-resumed rows are read back.
+    rows: List[dict] = []
+    missing = 0
+    for record in records:
+        if record.kind != "sweep" or record.status != DONE:
+            continue
+        row = registry.read_row(results_dir, config_id_from_task(record.name))
+        if row is None:
+            missing += 1
+            continue
+        rows.append(row)
+    appended, deduplicated = registry.append_rows(results_dir, rows)
+    obs.add("sweep.rows_appended", appended)
+    obs.add("sweep.rows_deduplicated", deduplicated)
+
+    events = merge_events(
+        obs.drain(),
+        *(
+            record.result.get("obs", ())
+            for record in records
+            if isinstance(record.result, dict)
+        ),
+    )
+    if events and obs.enabled():
+        write_events(pathlib.Path(results_dir) / TRACE_NAME, events)
+
+    counts = _counts(records)
+    journal.finish(
+        interrupted=interrupted,
+        failed=counts.get("failed", 0),
+        cancelled=counts.get("cancelled", 0),
+    )
+    return SweepReport(
+        sweep=spec.name,
+        spec_id=spec_id,
+        run_id=run_id,
+        backend=backend,
+        n_configs=len(configs),
+        counts=counts,
+        appended=appended,
+        deduplicated=deduplicated,
+        missing_rows=missing,
+        wall_seconds=timer.seconds,
+        interrupted=interrupted,
+        cache=dict(cache),
+    )

@@ -1,0 +1,418 @@
+"""Declarative sweep specifications and their deterministic expansion.
+
+A sweep spec is a TOML or JSON document with up to four parts::
+
+    name = "fig21-size"          # sweep name (defaults to the file stem)
+
+    [defaults]                   # per-spec overrides of the axis defaults
+    app = "clang"
+
+    [axes]                       # grid axes: the cartesian product runs
+    label_kb = [8, 64, 1024]
+    app = ["clang", "mysql"]
+
+    [[configs]]                  # explicit extra configurations
+    app = "postgres"
+    pipeline = "baseline"
+
+Every axis has a typed validator and a default (:data:`DEFAULTS`), so a
+fully-resolved configuration always carries every axis.  Expansion is
+deterministic: grid axes nest in sorted axis-name order with values in
+spec order, explicit ``[[configs]]`` entries follow, and duplicates
+collapse onto the first occurrence.  Each resolved configuration gets a
+*config id* — a digest of its canonical JSON rendering via
+:func:`repro.orchestrator.keys.fingerprint` — which is order-independent
+by construction and is the registry's dedupe key.
+
+Invalid specs raise typed subclasses of :exc:`SweepSpecError` (itself a
+``ValueError``, so the CLI's exit-code-2 contract applies): unknown axis
+names (:exc:`UnknownAxisError`), empty axes (:exc:`EmptyAxisError`),
+wrongly-typed values (:exc:`AxisTypeError`), out-of-domain values
+(:exc:`AxisValueError`), and malformed documents (:exc:`SpecFormatError`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from ..orchestrator.keys import fingerprint
+
+PathLike = Union[str, pathlib.Path]
+
+#: Participates in every config id: bump when axis semantics change so
+#: old registry rows stop colliding with newly-defined configurations.
+SWEEP_SCHEMA_VERSION = 1
+
+#: Axis values a TOML document can encode (``None`` is spelled ``0`` on
+#: the integer axes that support an "unlimited" setting).
+AxisValue = Union[str, int, float]
+
+
+class SweepSpecError(ValueError):
+    """Base for every sweep-spec validation failure (exit code 2)."""
+
+
+class SpecFormatError(SweepSpecError):
+    """The document itself is malformed (syntax, wrong shapes, no name)."""
+
+
+class UnknownAxisError(SweepSpecError):
+    """An axis name is not in the axis registry."""
+
+
+class EmptyAxisError(SweepSpecError):
+    """A grid axis was declared with no values."""
+
+
+class AxisTypeError(SweepSpecError):
+    """An axis value has the wrong type (bool masquerading as int included)."""
+
+
+class AxisValueError(SweepSpecError):
+    """An axis value is the right type but outside the axis's domain."""
+
+
+# ----------------------------------------------------------------------
+# Axis validators
+# ----------------------------------------------------------------------
+def _require_number(axis: str, value: Any) -> float:
+    """Accept int/float (never bool) and return it as a float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise AxisTypeError(
+            f"axis {axis!r}: expected a number, got {type(value).__name__} {value!r}"
+        )
+    return float(value)
+
+
+def _require_int(axis: str, value: Any) -> int:
+    """Accept a genuine int (never bool/float) and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise AxisTypeError(
+            f"axis {axis!r}: expected an integer, got {type(value).__name__} {value!r}"
+        )
+    return int(value)
+
+
+def _require_str(axis: str, value: Any) -> str:
+    """Accept a string and return it."""
+    if not isinstance(value, str):
+        raise AxisTypeError(
+            f"axis {axis!r}: expected a string, got {type(value).__name__} {value!r}"
+        )
+    return value
+
+
+def _norm_app(value: Any) -> str:
+    """A registered workload name."""
+    name = _require_str("app", value)
+    from ..workloads.registry import get_spec
+
+    try:
+        get_spec(name)
+    except KeyError as error:
+        raise AxisValueError(f"axis 'app': {error.args[0]}") from None
+    return name
+
+
+def _norm_label_kb(value: Any) -> float:
+    """Predictor storage budget in KB (positive)."""
+    size = _require_number("label_kb", value)
+    if size <= 0:
+        raise AxisValueError(f"axis 'label_kb': size must be > 0, got {size}")
+    return size
+
+
+def _norm_hint_budget(value: Any) -> int:
+    """Hint-buffer entries; 0 means unbounded (TOML cannot say None)."""
+    budget = _require_int("hint_budget", value)
+    if budget < 0:
+        raise AxisValueError(f"axis 'hint_budget': must be >= 0, got {budget}")
+    return budget
+
+
+def _norm_explore_fraction(value: Any) -> float:
+    """Whisper's randomized-exploration fraction, in (0, 1]."""
+    fraction = _require_number("explore_fraction", value)
+    if not 0 < fraction <= 1:
+        raise AxisValueError(
+            f"axis 'explore_fraction': must be in (0, 1], got {fraction}"
+        )
+    return fraction
+
+
+def _norm_warmup(value: Any) -> float:
+    """Measurement warmup fraction, in [0, 1)."""
+    fraction = _require_number("warmup", value)
+    if not 0 <= fraction < 1:
+        raise AxisValueError(f"axis 'warmup': must be in [0, 1), got {fraction}")
+    return fraction
+
+
+def _norm_n_events(value: Any) -> int:
+    """Trace length per app (positive)."""
+    count = _require_int("n_events", value)
+    if count <= 0:
+        raise AxisValueError(f"axis 'n_events': must be > 0, got {count}")
+    return count
+
+
+def _norm_kernel(value: Any) -> str:
+    """Replay-kernel tier; empty string inherits the ambient choice."""
+    kernel = _require_str("kernel", value)
+    from ..bpu.runner import VALID_KERNELS
+
+    if kernel and kernel not in VALID_KERNELS:
+        raise AxisValueError(
+            f"axis 'kernel': {kernel!r} not in {('',) + tuple(VALID_KERNELS)}"
+        )
+    return kernel
+
+
+def _norm_pipeline(value: Any) -> str:
+    """What runs per config: the baseline replay or the full Whisper flow."""
+    pipeline = _require_str("pipeline", value)
+    if pipeline not in ("baseline", "whisper"):
+        raise AxisValueError(
+            f"axis 'pipeline': {pipeline!r} not in ('baseline', 'whisper')"
+        )
+    return pipeline
+
+
+def _norm_max_candidates(value: Any) -> int:
+    """Search-candidate cap; 0 means unlimited (the paper's setting)."""
+    cap = _require_int("max_candidates", value)
+    if cap < 0:
+        raise AxisValueError(f"axis 'max_candidates': must be >= 0, got {cap}")
+    return cap
+
+
+#: Axis name -> validator/normalizer.  The registry *is* the schema: a
+#: key outside it is an :exc:`UnknownAxisError` wherever it appears.
+AXES = {
+    "app": _norm_app,
+    "label_kb": _norm_label_kb,
+    "hint_budget": _norm_hint_budget,
+    "explore_fraction": _norm_explore_fraction,
+    "warmup": _norm_warmup,
+    "n_events": _norm_n_events,
+    "kernel": _norm_kernel,
+    "pipeline": _norm_pipeline,
+    "max_candidates": _norm_max_candidates,
+}
+
+
+def _defaults() -> Dict[str, AxisValue]:
+    """The resolved default configuration, sourced from the code's own
+    defaults (WhisperConfig, the small scale, ExperimentContext.warmup)
+    so a sweep with no overrides measures exactly what the suite runs."""
+    from ..core.whisper import WhisperConfig
+    from ..experiments.runner import SCALE_EVENTS
+
+    whisper = WhisperConfig()
+    return {
+        "app": "clang",
+        "label_kb": 64.0,
+        "hint_budget": int(whisper.hint_buffer_entries or 0),
+        "explore_fraction": float(whisper.explore_fraction),
+        "warmup": 0.3,
+        "n_events": int(SCALE_EVENTS["small"]),
+        "kernel": "",
+        "pipeline": "whisper",
+        "max_candidates": 0,
+    }
+
+
+#: Default value per axis; every resolved configuration carries all of
+#: these keys, overridden by ``[defaults]``, grid axes, and ``[[configs]]``.
+DEFAULTS: Mapping[str, AxisValue] = _defaults()
+
+
+def normalize_value(axis: str, value: Any) -> AxisValue:
+    """Validate one axis value, returning its canonical form."""
+    try:
+        validator = AXES[axis]
+    except KeyError:
+        raise UnknownAxisError(
+            f"unknown axis {axis!r}; known axes: {', '.join(sorted(AXES))}"
+        ) from None
+    return validator(value)
+
+
+def config_id(values: Mapping[str, AxisValue]) -> str:
+    """Deterministic id of one fully-resolved configuration.
+
+    Hashes the canonical JSON rendering (sorted keys), so the id is
+    independent of insertion order and stable across processes; the
+    schema version participates so redefined axes never alias old rows.
+    """
+    return fingerprint({"sweep-config": SWEEP_SCHEMA_VERSION, "values": dict(values)})
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One expanded configuration: its id and every resolved axis value."""
+
+    config_id: str
+    values: Mapping[str, AxisValue]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parsed, validated sweep specification."""
+
+    name: str
+    #: Grid axes: axis name -> ordered values (cartesian product runs).
+    axes: Mapping[str, Tuple[AxisValue, ...]]
+    #: Explicit extra configurations (partial; merged over defaults).
+    configs: Tuple[Mapping[str, AxisValue], ...]
+    #: Spec-level overrides of :data:`DEFAULTS`.
+    defaults: Mapping[str, AxisValue]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], name: str = "") -> "SweepSpec":
+        """Validate a decoded TOML/JSON document into a spec.
+
+        ``name`` is the fallback (usually the file stem) when the
+        document has no ``name`` key.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecFormatError(
+                f"sweep spec must be a table/object, got {type(data).__name__}"
+            )
+        known = {"name", "defaults", "axes", "configs"}
+        unknown = sorted(set(map(str, data)) - known)
+        if unknown:
+            raise SpecFormatError(
+                f"unknown spec keys {unknown}; expected a subset of {sorted(known)}"
+            )
+        spec_name = data.get("name", name)
+        if not isinstance(spec_name, str) or not spec_name:
+            raise SpecFormatError("sweep spec needs a non-empty string 'name'")
+
+        defaults_raw = data.get("defaults", {})
+        if not isinstance(defaults_raw, Mapping):
+            raise SpecFormatError("'defaults' must be a table of axis = value")
+        defaults = {
+            str(axis): normalize_value(str(axis), value)
+            for axis, value in defaults_raw.items()
+        }
+
+        axes_raw = data.get("axes", {})
+        if not isinstance(axes_raw, Mapping):
+            raise SpecFormatError("'axes' must be a table of axis = [values]")
+        axes: Dict[str, Tuple[AxisValue, ...]] = {}
+        for axis_key, values in axes_raw.items():
+            axis = str(axis_key)
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise AxisTypeError(
+                    f"axis {axis!r}: expected a list of values, "
+                    f"got {type(values).__name__}"
+                )
+            if len(values) == 0:
+                raise EmptyAxisError(f"axis {axis!r} has no values")
+            normalized: List[AxisValue] = []
+            for value in values:
+                canon = normalize_value(axis, value)
+                if canon not in normalized:  # duplicates add nothing to a grid
+                    normalized.append(canon)
+            axes[axis] = tuple(normalized)
+
+        configs_raw = data.get("configs", [])
+        if isinstance(configs_raw, (str, bytes)) or not isinstance(
+            configs_raw, Sequence
+        ):
+            raise SpecFormatError("'configs' must be an array of tables")
+        configs: List[Mapping[str, AxisValue]] = []
+        for index, entry in enumerate(configs_raw):
+            if not isinstance(entry, Mapping):
+                raise SpecFormatError(
+                    f"configs[{index}] must be a table of axis = value"
+                )
+            configs.append({
+                str(axis): normalize_value(str(axis), value)
+                for axis, value in entry.items()
+            })
+        return cls(
+            name=spec_name,
+            axes=axes,
+            configs=tuple(configs),
+            defaults=defaults,
+        )
+
+    # ------------------------------------------------------------------
+    def base_values(self) -> Dict[str, AxisValue]:
+        """The fully-resolved starting point every config is built from."""
+        base = dict(DEFAULTS)
+        base.update(self.defaults)
+        return base
+
+    def expand(self) -> List[SweepConfig]:
+        """Deterministically expand into fully-resolved configurations.
+
+        Grid axes nest in sorted axis-name order (values in spec order),
+        explicit configs follow, and duplicate config ids collapse onto
+        their first occurrence — so re-declaring a grid point as an
+        explicit config is a no-op, not a double run.
+        """
+        base = self.base_values()
+        resolved: List[Dict[str, AxisValue]] = []
+        axis_names = sorted(self.axes)
+        if axis_names:
+            for combo in itertools.product(
+                *(self.axes[axis] for axis in axis_names)
+            ):
+                values = dict(base)
+                values.update(zip(axis_names, combo))
+                resolved.append(values)
+        elif not self.configs:
+            resolved.append(dict(base))  # an axis-free spec is one config
+        for entry in self.configs:
+            values = dict(base)
+            values.update(entry)
+            resolved.append(values)
+
+        seen: Dict[str, SweepConfig] = {}
+        ordered: List[SweepConfig] = []
+        for values in resolved:
+            cid = config_id(values)
+            if cid not in seen:
+                config = SweepConfig(config_id=cid, values=values)
+                seen[cid] = config
+                ordered.append(config)
+        return ordered
+
+    def spec_id(self) -> str:
+        """Digest of the whole resolved spec (the resume guard: a journal
+        records it, and resuming with an edited spec is refused)."""
+        return fingerprint({
+            "sweep-spec": SWEEP_SCHEMA_VERSION,
+            "name": self.name,
+            "ids": [config.config_id for config in self.expand()],
+        })
+
+
+def load_sweep_spec(path: PathLike) -> SweepSpec:
+    """Read and validate a sweep spec file (TOML by suffix, else JSON)."""
+    spec_path = pathlib.Path(path)
+    try:
+        raw = spec_path.read_bytes()
+    except OSError as error:
+        raise SpecFormatError(f"cannot read sweep spec {spec_path}: {error}") from None
+    if spec_path.suffix.lower() == ".json":
+        try:
+            data = json.loads(raw.decode())
+        except ValueError as error:
+            raise SpecFormatError(f"{spec_path}: invalid JSON: {error}") from None
+    else:
+        import tomllib
+
+        try:
+            data = tomllib.loads(raw.decode())
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as error:
+            raise SpecFormatError(f"{spec_path}: invalid TOML: {error}") from None
+    return SweepSpec.from_dict(data, name=spec_path.stem)

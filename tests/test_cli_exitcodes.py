@@ -157,3 +157,67 @@ class TestConnectionRefusedExitCodes:
     def test_serve_unknown_subcommand_exits_2(self):
         result = _repro("serve", "bogus")
         assert result.returncode == 2, result.stdout
+
+
+class TestSweepSpecExitCodes:
+    """Invalid sweep specs are bad input: typed error, exit 2, no
+    traceback — the same contract as every other malformed argument."""
+
+    def _spec(self, tmp_path, body):
+        path = tmp_path / "sweep.toml"
+        path.write_text(body)
+        return str(path)
+
+    def _run(self, tmp_path, body):
+        return _repro(
+            "sweep", "run", self._spec(tmp_path, body),
+            "--results", str(tmp_path / "results"),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+
+    def test_unknown_axis_exits_2(self, tmp_path):
+        result = self._run(tmp_path, '[axes]\ncolour = ["red"]\n')
+        assert result.returncode == 2, result.stdout
+        assert "unknown axis 'colour'" in result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_empty_axis_exits_2(self, tmp_path):
+        result = self._run(tmp_path, "[axes]\napp = []\n")
+        assert result.returncode == 2, result.stdout
+        assert "no values" in result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_type_mismatch_exits_2(self, tmp_path):
+        result = self._run(tmp_path, '[axes]\nlabel_kb = ["big"]\n')
+        assert result.returncode == 2, result.stdout
+        assert "expected a number" in result.stdout
+        assert "Traceback" not in result.stdout
+
+    def test_out_of_domain_value_exits_2(self, tmp_path):
+        result = self._run(tmp_path, "[axes]\nwarmup = [1.5]\n")
+        assert result.returncode == 2, result.stdout
+        assert "must be in [0, 1)" in result.stdout
+
+    def test_missing_spec_file_exits_2(self, tmp_path):
+        result = _repro(
+            "sweep", "run", str(tmp_path / "absent.toml"),
+            "--results", str(tmp_path / "results"),
+        )
+        assert result.returncode == 2, result.stdout
+        assert "cannot read sweep spec" in result.stdout
+
+    def test_resume_without_spec_or_journal_exits_2(self, tmp_path):
+        result = _repro(
+            "sweep", "run", "--results", str(tmp_path / "results"),
+        )
+        assert result.returncode == 2, result.stdout
+        assert "spec file is required" in result.stdout
+
+    def test_valid_single_config_sweep_exits_0(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            'name = "one"\n[defaults]\nn_events = 1000\n'
+            'pipeline = "baseline"\n',
+        )
+        assert result.returncode == 0, result.stdout
+        assert "1/1 configs done" in result.stdout

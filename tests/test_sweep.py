@@ -1,0 +1,417 @@
+"""Unit and property tests for sweep specs, the registry, and journals.
+
+Three satellite concerns of the sweep engine live here:
+
+* Hypothesis properties over spec expansion — expansion is
+  deterministic, config ids are collision-free and independent of key
+  and axis-value ordering, and every malformed spec raises its typed
+  :class:`~repro.sweep.spec.SweepSpecError` subclass.
+* Registry semantics — content-addressed rows, sorted dedup-on-append,
+  torn index lines, duplicate config ids.
+* Journal edge cases — empty files, torn final records, and the
+  finished/partial resumability split ``repro runs list`` reports.
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import registry
+from repro.cli import main as cli_main
+from repro.orchestrator.journal import (
+    JournalState,
+    RunJournal,
+    journal_path,
+    load_journal,
+)
+from repro.sweep.spec import (
+    AXES,
+    DEFAULTS,
+    AxisTypeError,
+    AxisValueError,
+    EmptyAxisError,
+    SpecFormatError,
+    SweepSpec,
+    UnknownAxisError,
+    config_id,
+    load_sweep_spec,
+)
+
+# ----------------------------------------------------------------------
+# Strategies: valid values per axis (small domains keep shrinking fast)
+# ----------------------------------------------------------------------
+AXIS_VALUES = {
+    "app": st.sampled_from(("clang", "mysql", "postgres", "kafka")),
+    "label_kb": st.sampled_from((8, 16.0, 64, 128, 1024)),
+    "hint_budget": st.integers(min_value=0, max_value=64),
+    "explore_fraction": st.sampled_from((0.001, 0.01, 0.5, 1.0)),
+    "warmup": st.sampled_from((0.0, 0.1, 0.3, 0.9)),
+    "n_events": st.integers(min_value=1, max_value=100_000),
+    "kernel": st.sampled_from(("", "scalar", "vector", "native")),
+    "pipeline": st.sampled_from(("baseline", "whisper")),
+    "max_candidates": st.integers(min_value=0, max_value=16),
+}
+
+
+@st.composite
+def spec_documents(draw):
+    """A random valid spec document: some axes, maybe explicit configs."""
+    axis_names = draw(
+        st.lists(st.sampled_from(sorted(AXES)), unique=True, max_size=3)
+    )
+    axes = {
+        name: draw(st.lists(AXIS_VALUES[name], min_size=1, max_size=3, unique=True))
+        for name in axis_names
+    }
+    n_configs = draw(st.integers(min_value=0, max_value=2))
+    configs = [
+        {
+            name: draw(AXIS_VALUES[name])
+            for name in draw(
+                st.lists(st.sampled_from(sorted(AXES)), unique=True, max_size=2)
+            )
+        }
+        for _ in range(n_configs)
+    ]
+    document = {"name": "prop", "axes": axes}
+    if configs:
+        document["configs"] = configs
+    return document
+
+
+@st.composite
+def resolved_configs(draw):
+    """One fully-resolved configuration (every axis present)."""
+    values = dict(DEFAULTS)
+    values.update({
+        name: draw(AXIS_VALUES[name])
+        for name in draw(st.lists(st.sampled_from(sorted(AXES)), unique=True))
+    })
+    return values
+
+
+class TestExpansionProperties:
+    @given(spec_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_expansion_is_deterministic(self, document):
+        first = SweepSpec.from_dict(document).expand()
+        second = SweepSpec.from_dict(json.loads(json.dumps(document))).expand()
+        assert [c.config_id for c in first] == [c.config_id for c in second]
+        assert [c.values for c in first] == [c.values for c in second]
+
+    @given(spec_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_config_ids_are_collision_free(self, document):
+        configs = SweepSpec.from_dict(document).expand()
+        ids = [c.config_id for c in configs]
+        assert len(set(ids)) == len(ids)
+        # Distinct ids always mean distinct resolved values and vice
+        # versa — the id is a pure function of the values.
+        rendered = {json.dumps(c.values, sort_keys=True) for c in configs}
+        assert len(rendered) == len(ids)
+
+    @given(resolved_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_config_id_is_key_order_independent(self, values):
+        shuffled = dict(sorted(values.items(), reverse=True))
+        assert config_id(values) == config_id(shuffled)
+
+    @given(spec_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_axis_value_order_changes_order_not_identity(self, document):
+        reversed_doc = dict(document)
+        reversed_doc["axes"] = {
+            axis: list(reversed(values))
+            for axis, values in document["axes"].items()
+        }
+        forward = SweepSpec.from_dict(document).expand()
+        backward = SweepSpec.from_dict(reversed_doc).expand()
+        assert {c.config_id for c in forward} == {c.config_id for c in backward}
+
+    @given(spec_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_every_config_is_fully_resolved(self, document):
+        for config in SweepSpec.from_dict(document).expand():
+            assert set(config.values) == set(DEFAULTS)
+
+    def test_grid_size_is_the_axis_product(self):
+        spec = SweepSpec.from_dict({
+            "name": "grid",
+            "axes": {"app": ["clang", "mysql"], "label_kb": [8, 64, 1024]},
+        })
+        assert len(spec.expand()) == 6
+
+    def test_explicit_config_duplicating_a_grid_point_collapses(self):
+        spec = SweepSpec.from_dict({
+            "name": "dup",
+            "axes": {"app": ["clang"]},
+            "configs": [{"app": "clang"}, {"app": "mysql"}],
+        })
+        configs = spec.expand()
+        assert len(configs) == 2
+        assert [c.values["app"] for c in configs] == ["clang", "mysql"]
+
+
+class TestSpecValidation:
+    def test_unknown_axis_in_axes(self):
+        with pytest.raises(UnknownAxisError):
+            SweepSpec.from_dict({"name": "x", "axes": {"colour": ["red"]}})
+
+    def test_unknown_axis_in_defaults(self):
+        with pytest.raises(UnknownAxisError):
+            SweepSpec.from_dict({"name": "x", "defaults": {"colour": "red"}})
+
+    def test_unknown_axis_in_configs(self):
+        with pytest.raises(UnknownAxisError):
+            SweepSpec.from_dict({"name": "x", "configs": [{"colour": "red"}]})
+
+    def test_empty_axis(self):
+        with pytest.raises(EmptyAxisError):
+            SweepSpec.from_dict({"name": "x", "axes": {"app": []}})
+
+    @pytest.mark.parametrize("value", ["big", True, [64], None])
+    def test_type_mismatch_on_numeric_axis(self, value):
+        with pytest.raises(AxisTypeError):
+            SweepSpec.from_dict({"name": "x", "axes": {"label_kb": [value]}})
+
+    @pytest.mark.parametrize("value", [1.5, True, "32"])
+    def test_type_mismatch_on_integer_axis(self, value):
+        with pytest.raises(AxisTypeError):
+            SweepSpec.from_dict({"name": "x", "axes": {"hint_budget": [value]}})
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(AxisTypeError):
+            SweepSpec.from_dict({"name": "x", "axes": {"app": "clang"}})
+
+    @pytest.mark.parametrize(
+        "axis, value",
+        [
+            ("app", "nonesuch"),
+            ("label_kb", 0),
+            ("label_kb", -8),
+            ("hint_budget", -1),
+            ("explore_fraction", 0.0),
+            ("explore_fraction", 1.5),
+            ("warmup", 1.0),
+            ("n_events", 0),
+            ("kernel", "quantum"),
+            ("pipeline", "sideways"),
+            ("max_candidates", -2),
+        ],
+    )
+    def test_out_of_domain_values(self, axis, value):
+        with pytest.raises(AxisValueError):
+            SweepSpec.from_dict({"name": "x", "axes": {axis: [value]}})
+
+    def test_unknown_toplevel_key(self):
+        with pytest.raises(SpecFormatError):
+            SweepSpec.from_dict({"name": "x", "axis": {"app": ["clang"]}})
+
+    def test_missing_name(self):
+        with pytest.raises(SpecFormatError):
+            SweepSpec.from_dict({"axes": {"app": ["clang"]}})
+
+    def test_file_stem_names_a_nameless_spec(self, tmp_path):
+        path = tmp_path / "stem-sweep.toml"
+        path.write_text('[axes]\napp = ["clang"]\n')
+        assert load_sweep_spec(path).name == "stem-sweep"
+
+    def test_invalid_toml_file(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(SpecFormatError):
+            load_sweep_spec(path)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecFormatError):
+            load_sweep_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecFormatError):
+            load_sweep_spec(tmp_path / "absent.toml")
+
+    def test_json_and_toml_specs_expand_identically(self, tmp_path):
+        document = {"name": "same", "axes": {"app": ["clang", "mysql"]}}
+        toml_path = tmp_path / "same.toml"
+        toml_path.write_text('name = "same"\n[axes]\napp = ["clang", "mysql"]\n')
+        json_path = tmp_path / "same.json"
+        json_path.write_text(json.dumps(document))
+        toml_ids = [c.config_id for c in load_sweep_spec(toml_path).expand()]
+        json_ids = [c.config_id for c in load_sweep_spec(json_path).expand()]
+        assert toml_ids == json_ids
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _row(cid, app="clang", mpki=5.0, sweep="s1"):
+    return {
+        "config_id": cid,
+        "sweep": sweep,
+        "config": {"app": app, "label_kb": 64.0},
+        "metrics": {"baseline_mpki": mpki},
+    }
+
+
+class TestRegistry:
+    def test_row_roundtrip_and_idempotence(self, tmp_path):
+        row = _row("aa11")
+        first = registry.write_row(tmp_path, row).read_bytes()
+        second = registry.write_row(tmp_path, row).read_bytes()
+        assert first == second
+        assert registry.read_row(tmp_path, "aa11") == row
+        assert registry.read_row(tmp_path, "missing") is None
+
+    def test_append_dedupes_and_sorts(self, tmp_path):
+        rows = [_row("bb"), _row("aa"), _row("cc")]
+        appended, skipped = registry.append_rows(tmp_path, rows)
+        assert (appended, skipped) == (3, 0)
+        index = registry.load_index(tmp_path)
+        assert [r["config_id"] for r in index.rows] == ["aa", "bb", "cc"]
+        # Re-registering (any order) appends nothing and changes no bytes.
+        before = registry.index_path(tmp_path).read_bytes()
+        appended, skipped = registry.append_rows(tmp_path, reversed(rows))
+        assert (appended, skipped) == (0, 3)
+        assert registry.index_path(tmp_path).read_bytes() == before
+
+    def test_index_with_duplicate_config_id(self, tmp_path):
+        """A raced double-append resolves to the first row, counted."""
+        path = registry.index_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        with open(path, "w") as handle:
+            handle.write(json.dumps(_row("aa", mpki=1.0)) + "\n")
+            handle.write(json.dumps(_row("aa", mpki=9.0)) + "\n")
+        index = registry.load_index(tmp_path)
+        assert len(index.rows) == 1
+        assert index.duplicates == 1
+        assert index.by_id["aa"]["metrics"]["baseline_mpki"] == 1.0
+
+    def test_torn_final_index_line_is_skipped(self, tmp_path):
+        registry.append_rows(tmp_path, [_row("aa"), _row("bb")])
+        with open(registry.index_path(tmp_path), "a") as handle:
+            handle.write('{"config_id": "cc", "metr')  # died mid-append
+        index = registry.load_index(tmp_path)
+        assert [r["config_id"] for r in index.rows] == ["aa", "bb"]
+        assert index.torn == 1
+
+    def test_query_filters_and_stable_order(self, tmp_path):
+        registry.append_rows(tmp_path, [
+            _row("aa", app="clang", mpki=2.0),
+            _row("bb", app="mysql", mpki=9.0),
+            _row("cc", app="mysql", mpki=4.0, sweep="s2"),
+        ])
+        rows = registry.query(tmp_path)
+        assert [r["config_id"] for r in rows] == ["aa", "bb", "cc"]
+        only_mysql = registry.query(
+            tmp_path, where=[registry.parse_filter("app=mysql")]
+        )
+        assert [r["config_id"] for r in only_mysql] == ["bb", "cc"]
+        heavy = registry.query(
+            tmp_path, where=[registry.parse_filter("baseline_mpki>=4")]
+        )
+        assert [r["config_id"] for r in heavy] == ["bb", "cc"]
+        assert registry.query(tmp_path, sweep="s2")[0]["config_id"] == "cc"
+        assert registry.query(
+            tmp_path, where=[registry.parse_filter("nonesuch=1")]
+        ) == []
+
+    def test_bad_filter_expression(self):
+        with pytest.raises(ValueError):
+            registry.parse_filter("no-operator")
+
+    def test_table_lines_render(self, tmp_path):
+        registry.append_rows(tmp_path, [_row("aa"), _row("bb", app="mysql")])
+        lines = registry.table_lines(registry.query(tmp_path))
+        assert lines[0].split()[:3] == ["sweep", "config", "app"]
+        assert any("mysql" in line for line in lines)
+        assert registry.table_lines([]) == ["no rows"]
+
+
+# ----------------------------------------------------------------------
+# Journal edge cases + runs list resumability
+# ----------------------------------------------------------------------
+class TestJournalEdgeCases:
+    def test_empty_journal_loads_as_none(self, tmp_path):
+        path = journal_path(tmp_path, "empty")
+        path.parent.mkdir(parents=True)
+        path.write_text("")
+        assert load_journal(tmp_path, "empty") is None
+
+    def test_torn_final_record_is_ignored(self, tmp_path):
+        journal = RunJournal.start(tmp_path, "torn", params={"jobs": 1})
+        journal._append({"type": "task", "name": "a", "status": "done"})
+        with open(journal.path, "a") as handle:
+            handle.write('{"type": "task", "name": "b", "stat')
+        state = load_journal(tmp_path, "torn")
+        assert state is not None
+        assert state.task_status == {"a": "done"}
+        assert state.resumability() == "partial"
+
+    def test_resumability_split(self):
+        finished = JournalState(run_id="r", params={}, ended=True)
+        assert finished.resumability() == "finished"
+        for partial in (
+            JournalState(run_id="r", params={}, ended=False),
+            JournalState(run_id="r", params={}, ended=True, interrupted=True),
+            JournalState(run_id="r", params={}, ended=True, failed=1),
+            JournalState(run_id="r", params={}, ended=True, cancelled=2),
+        ):
+            assert partial.resumability() == "partial"
+
+
+class TestRunsListCli:
+    def test_empty_journal_reported_unreadable(self, tmp_path, capsys):
+        path = journal_path(tmp_path, "hollow")
+        path.parent.mkdir(parents=True)
+        path.write_text("")
+        assert cli_main(["runs", "list", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "hollow: unreadable journal" in out
+
+    def test_list_reports_finished_and_partial(self, tmp_path, capsys):
+        done = RunJournal.start(tmp_path, "run-done", params={})
+        done._append({"type": "task", "name": "a", "status": "done"})
+        done.finish(interrupted=False, failed=0, cancelled=0)
+        RunJournal.start(
+            tmp_path, "run-live", params={"type": "sweep", "sweep": "mini"}
+        )
+        assert cli_main(["runs", "list", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run-done: complete [finished] — 1 done, 0 failed" in out
+        assert "run-live: in-progress [partial]" in out
+        # Partial sweep journals advertise the sweep resume command.
+        assert "repro sweep run --resume run-live" in out
+        assert "repro run-all --resume run-done" not in out
+
+    def test_no_journals(self, tmp_path, capsys):
+        assert cli_main(["runs", "list", "--results", str(tmp_path)]) == 0
+        assert "no run journals" in capsys.readouterr().out
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples" / "sweeps"
+
+
+class TestExampleSpecs:
+    """The shipped example specs must stay loadable and well-sized."""
+
+    def test_mini_is_the_ci_two_by_two(self):
+        spec = load_sweep_spec(EXAMPLES / "mini.toml")
+        configs = spec.expand()
+        assert spec.name == "mini"
+        assert len(configs) == 4
+        assert {c.values["app"] for c in configs} == {"clang", "mysql"}
+
+    def test_fig21_expands_past_a_hundred_unique_configs(self):
+        spec = load_sweep_spec(EXAMPLES / "fig21_predictor_size.toml")
+        configs = spec.expand()
+        ids = {c.config_id for c in configs}
+        assert len(configs) >= 100
+        assert len(ids) == len(configs)  # collision-free, duplicate-free
+        pipelines = {c.values["pipeline"] for c in configs}
+        assert pipelines == {"whisper", "baseline"}
+        # One baseline denominator row per application.
+        baselines = [c for c in configs if c.values["pipeline"] == "baseline"]
+        assert len(baselines) == 12

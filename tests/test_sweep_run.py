@@ -1,0 +1,321 @@
+"""End-to-end sweep runs: local pool, TCP cluster, faults, resume.
+
+The house determinism invariant, extended to sweeps: whatever the
+backend — inline, local pool, cluster workers (including a SIGKILLed
+one mid-sweep), or an interrupted run finished by ``--resume`` — the
+registry index must come out byte-identical to an undisturbed local
+run's, and re-running a sweep must be all cache hits and zero appends.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import registry
+from repro.cli import main as cli_main
+from repro.orchestrator import faults
+from repro.orchestrator.journal import RunJournal
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import load_sweep_spec
+
+MINI_SPEC = """
+name = "mini"
+
+[defaults]
+n_events = 2000
+pipeline = "baseline"
+
+[axes]
+app = ["clang", "mysql"]
+label_kb = [8, 64]
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "mini.toml"
+    path.write_text(MINI_SPEC)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_index(tmp_path_factory):
+    """The registry index bytes an undisturbed local run produces."""
+    root = tmp_path_factory.mktemp("sweep-reference")
+    path = root / "mini.toml"
+    path.write_text(MINI_SPEC)
+    os.environ.pop(faults.FAULTS_ENV, None)
+    faults.reset()
+    report = run_sweep(
+        spec_path=str(path), jobs=2,
+        cache_dir=str(root / "cache"), results_dir=str(root / "results"),
+    )
+    assert report.counts.get("done") == 4, report
+    return registry.index_path(root / "results").read_bytes()
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _worker_env(extra=None):
+    env = dict(os.environ)
+    env.pop(faults.FAULTS_ENV, None)
+    env.pop(faults.FAULTS_STATE_ENV, None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            os.path.join(os.path.dirname(__file__), "..", "src"),
+            env.get("PYTHONPATH", ""),
+        ) if p
+    )
+    env.update(extra or {})
+    return env
+
+
+def _start_worker(port, cache_dir, worker_id, slots=2, env=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "cluster", "worker",
+         "--coordinator", f"127.0.0.1:{port}", "--slots", str(slots),
+         "--cache-dir", str(cache_dir), "--worker-id", worker_id],
+        env=env or _worker_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _finish(process, timeout=60):
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        output, _ = process.communicate()
+        return -9, output
+    return process.returncode, output
+
+
+class TestLocalSweep:
+    def test_populates_registry(self, tmp_path, spec_path, reference_index):
+        results = tmp_path / "results"
+        report = run_sweep(
+            spec_path=str(spec_path), jobs=2,
+            cache_dir=str(tmp_path / "cache"), results_dir=str(results),
+        )
+        assert report.counts.get("done") == 4
+        assert report.appended == 4 and report.deduplicated == 0
+        assert not report.interrupted
+        index = registry.load_index(results)
+        assert len(index.rows) == 4
+        for row in index.rows:
+            assert row["sweep"] == "mini"
+            assert registry.read_row(results, row["config_id"]) == row
+            assert row["metrics"]["baseline_mpki"] > 0
+        assert registry.index_path(results).read_bytes() == reference_index
+
+    def test_rerun_appends_nothing_and_hits_cache(self, tmp_path, spec_path):
+        kwargs = dict(
+            spec_path=str(spec_path), jobs=1,
+            cache_dir=str(tmp_path / "cache"),
+            results_dir=str(tmp_path / "results"),
+        )
+        run_sweep(**kwargs)
+        before = registry.index_path(tmp_path / "results").read_bytes()
+        again = run_sweep(**kwargs)
+        assert again.appended == 0
+        assert again.deduplicated == 4
+        assert again.cache.get("misses", 0) == 0, again.cache
+        assert again.cache.get("hits", 0) > 0
+        assert registry.index_path(tmp_path / "results").read_bytes() == before
+
+    def test_whisper_pipeline_reports_reduction(self, tmp_path):
+        path = tmp_path / "whisper.toml"
+        path.write_text(
+            'name = "w"\n[defaults]\nn_events = 1500\nmax_candidates = 4\n'
+            '[axes]\nhint_budget = [0, 8]\n'
+        )
+        report = run_sweep(
+            spec_path=str(path), cache_dir=str(tmp_path / "cache"),
+            results_dir=str(tmp_path / "results"),
+        )
+        assert report.counts.get("done") == 2
+        for row in registry.load_index(tmp_path / "results").rows:
+            assert "whisper_mpki" in row["metrics"]
+            assert "reduction_pct" in row["metrics"]
+            assert row["config"]["pipeline"] == "whisper"
+
+    def test_failed_config_then_resume_matches_reference(
+        self, tmp_path, spec_path, reference_index, monkeypatch
+    ):
+        """One config crashes unretryably; --resume (faults off) finishes
+        the sweep and the final index is byte-identical anyway."""
+        victim = load_sweep_spec(spec_path).expand()[0].config_id
+        monkeypatch.setenv(
+            faults.FAULTS_ENV, f"crash_task:match=cfg:{victim},attempts=99"
+        )
+        results = tmp_path / "results"
+        report = run_sweep(
+            spec_path=str(spec_path), jobs=2, retries=0,
+            cache_dir=str(tmp_path / "cache"), results_dir=str(results),
+            run_id="sweep-faulted",
+        )
+        assert report.counts.get("failed") == 1
+        assert report.counts.get("done") == 3
+        assert report.appended == 3
+
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        faults.reset()
+        resumed = run_sweep(resume="sweep-faulted", results_dir=str(results))
+        assert resumed.counts.get("done") == 4
+        assert resumed.appended == 1
+        # The index grew across two sessions, so its *line order* may
+        # differ from a one-session run — but the queryable content is
+        # identical row for row (query sorts by config id).
+        reference_rows = sorted(
+            (json.loads(line) for line in reference_index.splitlines()),
+            key=lambda row: row["config_id"],
+        )
+        assert registry.query(results) == reference_rows
+
+    def test_resume_refuses_an_edited_spec(self, tmp_path, spec_path):
+        results = tmp_path / "results"
+        run_sweep(
+            spec_path=str(spec_path), cache_dir=str(tmp_path / "cache"),
+            results_dir=str(results), run_id="pinned",
+        )
+        spec_path.write_text(MINI_SPEC + '\nexplore_fraction = [0.01]\n')
+        with pytest.raises(ValueError, match="changed since run"):
+            run_sweep(resume="pinned", results_dir=str(results))
+
+    def test_resume_of_non_sweep_journal_rejected(self, tmp_path):
+        RunJournal.start(tmp_path, "not-a-sweep", params={"figures": ["fig02"]})
+        with pytest.raises(ValueError, match="not a sweep journal"):
+            run_sweep(resume="not-a-sweep", results_dir=str(tmp_path))
+
+
+class TestQueryCli:
+    def test_query_output_stable_across_invocations(
+        self, tmp_path, spec_path, capsys
+    ):
+        results = tmp_path / "results"
+        run_sweep(
+            spec_path=str(spec_path), cache_dir=str(tmp_path / "cache"),
+            results_dir=str(results),
+        )
+        assert cli_main(["runs", "query", "--results", str(results)]) == 0
+        first = capsys.readouterr().out
+        assert cli_main(["runs", "query", "--results", str(results)]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        # All four rows, in config-id order, after the header line.
+        assert len(first.strip().splitlines()) == 5
+
+    def test_query_where_and_json(self, tmp_path, spec_path, capsys):
+        results = tmp_path / "results"
+        run_sweep(
+            spec_path=str(spec_path), cache_dir=str(tmp_path / "cache"),
+            results_dir=str(results),
+        )
+        code = cli_main([
+            "runs", "query", "--results", str(results),
+            "--where", "app=mysql", "--where", "label_kb=8", "--json",
+        ])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["config"]["app"] == "mysql"
+        assert rows[0]["config"]["label_kb"] == 8.0
+
+    def test_bad_where_exits_2(self, tmp_path, capsys):
+        code = cli_main([
+            "runs", "query", "--results", str(tmp_path), "--where", "nonsense",
+        ])
+        assert code == 2
+        assert "bad filter" in capsys.readouterr().out
+
+    def test_sweep_status_lists_runs_and_totals(
+        self, tmp_path, spec_path, capsys
+    ):
+        results = tmp_path / "results"
+        run_sweep(
+            spec_path=str(spec_path), cache_dir=str(tmp_path / "cache"),
+            results_dir=str(results), run_id="status-run",
+        )
+        assert cli_main(["sweep", "status", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "mini: 4 row(s)" in out
+        assert "status-run: sweep mini — 4/4 configs, finished" in out
+
+
+class TestClusterSweep:
+    def test_cluster_index_matches_local_byte_for_byte(
+        self, tmp_path, spec_path, reference_index
+    ):
+        port = _free_port()
+        worker = _start_worker(port, tmp_path / "w1", "w1", slots=2)
+        results = tmp_path / "results"
+        try:
+            report = run_sweep(
+                spec_path=str(spec_path),
+                cache_dir=str(tmp_path / "hub"), results_dir=str(results),
+                backend="cluster", coordinator=f"127.0.0.1:{port}",
+            )
+        finally:
+            code, output = _finish(worker)
+        assert code == 0, output
+        assert report.counts.get("done") == 4
+        assert registry.index_path(results).read_bytes() == reference_index
+
+    def test_sigkilled_worker_mid_sweep_still_byte_identical(
+        self, tmp_path, spec_path, reference_index
+    ):
+        """Chaos: SIGKILL a worker holding a leased config.  The victim
+        is pinned mid-task by a hang fault so the kill always lands on
+        a live lease; the survivor absorbs the reassignment and the
+        registry index still matches the undisturbed local run."""
+        port = _free_port()
+        victim = _start_worker(
+            port, tmp_path / "w1", "w1", slots=1,
+            env=_worker_env({faults.FAULTS_ENV: "hang_task:match=cfg:*,delay=60"}),
+        )
+        survivor = _start_worker(port, tmp_path / "w2", "w2", slots=1)
+
+        def _kill_later():
+            time.sleep(2.5)
+            victim.kill()
+
+        killer = threading.Thread(target=_kill_later)
+        killer.start()
+        results = tmp_path / "results"
+        try:
+            report = run_sweep(
+                spec_path=str(spec_path),
+                cache_dir=str(tmp_path / "hub"), results_dir=str(results),
+                backend="cluster", coordinator=f"127.0.0.1:{port}",
+                lease_seconds=2.0, retries=2,
+            )
+        finally:
+            killer.join()
+            _finish(victim)
+            code, output = _finish(survivor)
+        assert code == 0, output
+        assert report.counts.get("done") == 4
+        assert report.counts.get("failed", 0) == 0
+        assert registry.index_path(results).read_bytes() == reference_index
